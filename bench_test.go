@@ -1,0 +1,118 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index), plus the
+// design-choice ablations. Each benchmark executes the corresponding
+// experiment sweep at a reduced scale through internal/bench — exactly
+// the code path cmd/mcfsbench uses for full runs — and reports the
+// summed objective across emitted rows as a stability metric.
+//
+// Full-size reproductions: `go run ./cmd/mcfsbench -exp all -scale 20`.
+package mcfs_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mcfs/internal/bench"
+)
+
+// runExperiment executes one experiment per benchmark iteration.
+func runExperiment(b *testing.B, id string, cfg bench.Config) {
+	b.Helper()
+	var objSum int64
+	var rows int
+	for i := 0; i < b.N; i++ {
+		objSum, rows = 0, 0
+		err := bench.Run(id, cfg, func(r bench.Row) {
+			rows++
+			if r.Objective > 0 {
+				objSum += r.Objective
+			}
+			if strings.Contains(r.Note, "VERIFICATION FAILED") || strings.HasPrefix(r.Note, "error:") {
+				b.Fatalf("bad row: %+v", r)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(objSum), "objective")
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// benchConfig is the reduced-scale configuration used by all benchmark
+// targets; the exact solver gets a tight budget so "fails" (timeouts)
+// appear just as Gurobi's do in the paper.
+func benchConfig() bench.Config {
+	return bench.Config{
+		Scale:       0.05,
+		ExactBudget: 2 * time.Second,
+		Seed:        1,
+	}
+}
+
+// --- Fig. 5: synthetic point distributions --------------------------------
+
+func BenchmarkFig5_Distributions(b *testing.B) { runExperiment(b, "F5", benchConfig()) }
+
+// --- Fig. 6: uniform synthetic data, variable graph size ------------------
+
+func BenchmarkFig6a_UniformSparse(b *testing.B)         { runExperiment(b, "F6a", benchConfig()) }
+func BenchmarkFig6b_UniformDense(b *testing.B)          { runExperiment(b, "F6b", benchConfig()) }
+func BenchmarkFig6c_UniformSparseLowAlpha(b *testing.B) { runExperiment(b, "F6c", benchConfig()) }
+func BenchmarkFig6d_UniformNonuniformCap(b *testing.B)  { runExperiment(b, "F6d", benchConfig()) }
+
+// --- Fig. 7: clustered synthetic data, variable graph size ----------------
+
+func BenchmarkFig7a_Clustered40(b *testing.B)      { runExperiment(b, "F7a", benchConfig()) }
+func BenchmarkFig7b_Clustered40Tight(b *testing.B) { runExperiment(b, "F7b", benchConfig()) }
+func BenchmarkFig7c_Clustered20(b *testing.B)      { runExperiment(b, "F7c", benchConfig()) }
+func BenchmarkFig7d_Clustered5(b *testing.B)       { runExperiment(b, "F7d", benchConfig()) }
+
+// --- Fig. 8: clustered data, variable ℓ, m, k ------------------------------
+
+func BenchmarkFig8a_VarFacilities(b *testing.B) { runExperiment(b, "F8a", benchConfig()) }
+func BenchmarkFig8b_VarCustomers(b *testing.B)  { runExperiment(b, "F8b", benchConfig()) }
+func BenchmarkFig8c_ManyCustomers(b *testing.B) { runExperiment(b, "F8c", benchConfig()) }
+func BenchmarkFig8d_VarK(b *testing.B)          { runExperiment(b, "F8d", benchConfig()) }
+
+// --- Fig. 9: density and capacity effects ----------------------------------
+
+func BenchmarkFig9a_Density(b *testing.B)  { runExperiment(b, "F9a", benchConfig()) }
+func BenchmarkFig9b_Capacity(b *testing.B) { runExperiment(b, "F9b", benchConfig()) }
+
+// --- Table III / Table IV / Fig. 10: city road networks --------------------
+
+func BenchmarkTable3_CityStats(b *testing.B) { runExperiment(b, "T3", benchConfig()) }
+
+func BenchmarkTable4_Cities(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.02 // four full cities per iteration; keep them small
+	cfg.SkipExact = true
+	runExperiment(b, "T4", cfg)
+}
+
+func BenchmarkFig10_AalborgScale(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.05
+	runExperiment(b, "F10", cfg)
+}
+
+// --- Fig. 12 / Fig. 13: coworking and bike-sharing scenarios ---------------
+
+func BenchmarkFig12a_VegasCoworking(b *testing.B) { runExperiment(b, "F12a", benchConfig()) }
+func BenchmarkFig12b_IterationStats(b *testing.B) { runExperiment(b, "F12b", benchConfig()) }
+func BenchmarkFig13a_CphCoworking(b *testing.B)   { runExperiment(b, "F13a", benchConfig()) }
+func BenchmarkFig13b_CphBikes(b *testing.B)       { runExperiment(b, "F13b", benchConfig()) }
+
+// --- Ablations of WMA design choices ---------------------------------------
+
+func BenchmarkAblation_Threshold(b *testing.B)    { runExperiment(b, "AblThreshold", benchConfig()) }
+func BenchmarkAblation_DemandPolicy(b *testing.B) { runExperiment(b, "AblDemand", benchConfig()) }
+func BenchmarkAblation_TieBreak(b *testing.B)     { runExperiment(b, "AblTieBreak", benchConfig()) }
+
+func BenchmarkAblation_Swap(b *testing.B) { runExperiment(b, "AblSwap", benchConfig()) }
+
+// --- quality vs proven optimum ----------------------------------------------
+
+func BenchmarkQuality_VsOptimal(b *testing.B) { runExperiment(b, "Q", benchConfig()) }

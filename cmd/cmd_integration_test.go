@@ -1,0 +1,151 @@
+// Package cmd_test builds the three CLI binaries and exercises their
+// end-to-end pipelines: generate → solve → bench report.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "mcfs-bin")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	for _, tool := range []string{"mcfsgen", "mcfscli", "mcfsbench", "mcfscompare"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			panic(tool + ": " + err.Error() + "\n" + string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestGenThenSolve(t *testing.T) {
+	inst := filepath.Join(t.TempDir(), "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "clustered", "-n", "1500", "-clusters", "10",
+		"-m", "80", "-l", "200", "-cap", "8", "-k", "15",
+		"-seed", "3", "-o", inst)
+	if _, err := os.Stat(inst); err != nil {
+		t.Fatal(err)
+	}
+	var objectives []string
+	for _, algo := range []string{"wma", "uf", "hilbert", "naive"} {
+		out := run(t, "mcfscli", "-algo", algo, "-in", inst)
+		if !strings.Contains(out, "objective") {
+			t.Fatalf("%s output missing objective:\n%s", algo, out)
+		}
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "objective") {
+				objectives = append(objectives, strings.TrimSpace(strings.TrimPrefix(line, "objective")))
+			}
+		}
+	}
+	if len(objectives) != 4 {
+		t.Fatalf("collected %d objectives", len(objectives))
+	}
+}
+
+func TestCLIAssignmentAndKOverride(t *testing.T) {
+	inst := filepath.Join(t.TempDir(), "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "uniform", "-n", "400", "-alpha", "2.5",
+		"-m", "10", "-l", "30", "-cap", "4", "-k", "5", "-o", inst)
+	out := run(t, "mcfscli", "-algo", "wma", "-in", inst, "-k", "6", "-assignment")
+	if !strings.Contains(out, "k=6") {
+		t.Fatalf("k override ignored:\n%s", out)
+	}
+	if strings.Count(out, "customer ") != 10 {
+		t.Fatalf("assignment lines missing:\n%s", out)
+	}
+}
+
+func TestCLIExactTiny(t *testing.T) {
+	inst := filepath.Join(t.TempDir(), "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "uniform", "-n", "150", "-alpha", "3",
+		"-m", "6", "-l", "6", "-cap", "3", "-k", "3", "-o", inst)
+	out := run(t, "mcfscli", "-algo", "exhaustive", "-in", inst)
+	if !strings.Contains(out, "objective") {
+		t.Fatalf("exhaustive failed:\n%s", out)
+	}
+}
+
+func TestBenchListAndRun(t *testing.T) {
+	out := run(t, "mcfsbench", "-list")
+	for _, id := range []string{"F6a", "T4", "F12b", "Q"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("-list missing %s:\n%s", id, out)
+		}
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "r.csv")
+	md := filepath.Join(dir, "r.md")
+	out = run(t, "mcfsbench", "-exp", "F5,T3", "-scale", "0.02", "-csv", csv, "-md", md)
+	if !strings.Contains(out, "F5") || !strings.Contains(out, "T3") {
+		t.Fatalf("bench output incomplete:\n%s", out)
+	}
+	for _, f := range []string{csv, md} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}
+
+func TestGenDIMACSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gr := filepath.Join(dir, "tiny.gr")
+	err := os.WriteFile(gr, []byte("p sp 4 6\na 1 2 5\na 2 1 5\na 2 3 5\na 3 2 5\na 3 4 5\na 4 3 5\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := filepath.Join(dir, "inst.mcfs")
+	run(t, "mcfsgen", "-type", "dimacs", "-gr", gr, "-m", "2", "-l", "3", "-cap", "1", "-k", "2", "-o", inst)
+	out := run(t, "mcfscli", "-algo", "wma", "-in", inst)
+	if !strings.Contains(out, "objective") {
+		t.Fatalf("dimacs pipeline failed:\n%s", out)
+	}
+}
+
+func TestCompareTool(t *testing.T) {
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "clustered", "-n", "600", "-clusters", "6",
+		"-m", "30", "-l", "80", "-cap", "5", "-k", "8", "-o", inst)
+	svg := filepath.Join(dir, "out.svg")
+	geo := filepath.Join(dir, "out.json")
+	out := run(t, "mcfscompare", "-in", inst, "-algos", "wma,hilbert", "-svg", svg, "-geojson", geo)
+	if !strings.Contains(out, "best: ") {
+		t.Fatalf("no best line:\n%s", out)
+	}
+	for _, f := range []string{svg, geo} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Fatalf("export %s missing or empty", f)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command mcfscli solves an MCFS instance file with any of the
+// repository's algorithms and prints the objective, runtime, and
+// optionally the full assignment.
+//
+//	mcfscli -algo wma -in inst.mcfs
+//	mcfscli -algo exact -timeout 60s -in inst.mcfs
+//	mcfscli -algo hilbert -in inst.mcfs -assignment
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mcfs"
+)
+
+func main() {
+	var (
+		algo       = flag.String("algo", "wma", "algorithm: wma | uf | hilbert | brnn | naive | exact | exhaustive")
+		in         = flag.String("in", "", "instance file (required)")
+		kOverride  = flag.Int("k", 0, "override the instance's facility budget")
+		timeout    = flag.Duration("timeout", 0, "time budget for -algo exact")
+		seed       = flag.Int64("seed", 1, "seed for -algo naive")
+		assignment = flag.Bool("assignment", false, "print the per-customer assignment")
+		verify     = flag.Bool("verify", true, "re-verify the solution from scratch")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "mcfscli: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := mcfs.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *kOverride > 0 {
+		inst.K = *kOverride
+	}
+
+	start := time.Now()
+	sol, err := run(*algo, inst, *timeout, *seed)
+	elapsed := time.Since(start)
+	if err != nil && sol == nil {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mcfscli: warning: %v (reporting best-so-far)\n", err)
+	}
+
+	if *verify {
+		if _, err := inst.CheckSolution(sol); err != nil {
+			fatal(fmt.Errorf("solution failed verification: %w", err))
+		}
+	}
+	fmt.Printf("algorithm   %s\n", *algo)
+	fmt.Printf("instance    n=%d edges=%d m=%d l=%d k=%d\n",
+		inst.G.N(), inst.G.M(), inst.M(), inst.L(), inst.K)
+	fmt.Printf("objective   %d\n", sol.Objective)
+	fmt.Printf("facilities  %d selected\n", len(sol.Selected))
+	fmt.Printf("runtime     %s\n", elapsed)
+	if *assignment {
+		for i, j := range sol.Assignment {
+			fmt.Printf("customer %d @node %d -> facility %d @node %d\n",
+				i, inst.Customers[i], j, inst.Facilities[j].Node)
+		}
+	}
+}
+
+func run(algo string, inst *mcfs.Instance, timeout time.Duration, seed int64) (*mcfs.Solution, error) {
+	switch algo {
+	case "wma":
+		return mcfs.Solve(inst)
+	case "uf":
+		return mcfs.SolveUniformFirst(inst)
+	case "hilbert":
+		return mcfs.SolveHilbert(inst)
+	case "brnn":
+		return mcfs.SolveBRNN(inst)
+	case "naive":
+		return mcfs.SolveNaive(inst, mcfs.WithSeed(seed))
+	case "exact":
+		var opts []mcfs.Option
+		if timeout > 0 {
+			opts = append(opts, mcfs.WithTimeBudget(timeout))
+		}
+		res, err := mcfs.SolveExact(inst, opts...)
+		if res == nil {
+			return nil, err
+		}
+		if err != nil && errors.Is(err, mcfs.ErrTimeout) {
+			return res.Solution, err
+		}
+		return res.Solution, err
+	case "exhaustive":
+		return mcfs.SolveExhaustive(inst, 0)
+	default:
+		return nil, fmt.Errorf("unknown -algo %q", algo)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcfscli:", err)
+	os.Exit(1)
+}

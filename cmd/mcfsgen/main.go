@@ -1,0 +1,206 @@
+// Command mcfsgen generates MCFS problem instances in the module's text
+// format: synthetic uniform/clustered networks, city-like road networks,
+// and the coworking/bike-sharing scenarios.
+//
+// Examples:
+//
+//	mcfsgen -type uniform -n 10000 -alpha 2 -m 1000 -l 2000 -cap 20 -k 100 -o inst.mcfs
+//	mcfsgen -type clustered -clusters 20 -n 10000 -m 500 -facall -cap 10 -k 50 -o inst.mcfs
+//	mcfsgen -type city -city aalborg -scale 0.1 -m 512 -facall -cap 20 -k 51 -o aalborg.mcfs
+//	mcfsgen -type coworking -city lasvegas -scale 0.05 -venues 400 -m 1000 -k 200 -o cowork.mcfs
+//	mcfsgen -type bikes -city copenhagen -scale 0.05 -stations 600 -m 1000 -k 200 -o bikes.mcfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"mcfs"
+)
+
+func main() {
+	var (
+		typ      = flag.String("type", "uniform", "instance type: uniform | clustered | city | coworking | bikes | dimacs")
+		n        = flag.Int("n", 10000, "synthetic network size (nodes)")
+		alpha    = flag.Float64("alpha", 2, "synthetic density parameter")
+		clusters = flag.Int("clusters", 20, "cluster count for -type clustered")
+		city     = flag.String("city", "aalborg", "city preset: aalborg | riga | copenhagen | lasvegas")
+		scale    = flag.Float64("scale", 0.1, "city size scale (1.0 = paper size)")
+		m        = flag.Int("m", 100, "number of customers")
+		l        = flag.Int("l", 0, "number of candidate facilities (ignored with -facall)")
+		facAll   = flag.Bool("facall", false, "every node is a candidate facility (F_p = V)")
+		capacity = flag.Int("cap", 10, "uniform facility capacity")
+		capLo    = flag.Int("caplo", 0, "nonuniform capacity lower bound (with -caphi)")
+		capHi    = flag.Int("caphi", 0, "nonuniform capacity upper bound")
+		k        = flag.Int("k", 10, "facility budget")
+		venues   = flag.Int("venues", 400, "coworking venue count")
+		stations = flag.Int("stations", 600, "bike docking station count")
+		gr       = flag.String("gr", "", "DIMACS .gr graph file for -type dimacs")
+		co       = flag.String("co", "", "optional DIMACS .co coordinate file")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	inst, err := generate(*typ, genParams{
+		n: *n, alpha: *alpha, clusters: *clusters,
+		city: *city, scale: *scale,
+		m: *m, l: *l, facAll: *facAll,
+		capacity: *capacity, capLo: *capLo, capHi: *capHi,
+		k: *k, venues: *venues, stations: *stations, seed: *seed,
+		gr: *gr, co: *co,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcfsgen:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcfsgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := mcfs.WriteInstance(w, inst); err != nil {
+		fmt.Fprintln(os.Stderr, "mcfsgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		st := mcfs.NetworkStats(inst.G)
+		feas := "feasible"
+		if ok, _ := inst.Feasible(); !ok {
+			feas = "INFEASIBLE"
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: n=%d edges=%d m=%d l=%d k=%d (%s)\n",
+			*out, st.Nodes, st.Edges, inst.M(), inst.L(), inst.K, feas)
+	}
+}
+
+type genParams struct {
+	n                   int
+	alpha               float64
+	clusters            int
+	city                string
+	scale               float64
+	m, l                int
+	facAll              bool
+	capacity            int
+	capLo, capHi        int
+	k, venues, stations int
+	seed                int64
+	gr, co              string
+}
+
+func generate(typ string, p genParams) (*mcfs.Instance, error) {
+	rng := rand.New(rand.NewSource(p.seed))
+	capFn := mcfs.UniformCapacity(p.capacity)
+	if p.capHi > 0 {
+		capFn = mcfs.RandomCapacity(p.capLo, p.capHi, rng)
+	}
+	switch typ {
+	case "uniform", "clustered":
+		cfg := mcfs.SyntheticConfig{N: p.n, Alpha: p.alpha, Seed: p.seed}
+		if typ == "clustered" {
+			cfg.Clusters = p.clusters
+		}
+		g, err := mcfs.GenerateSynthetic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return assemble(g, p, rng, capFn), nil
+	case "city":
+		g, err := buildCity(p)
+		if err != nil {
+			return nil, err
+		}
+		return assemble(g, p, rng, capFn), nil
+	case "coworking":
+		g, err := buildCity(p)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := mcfs.NewCoworkingScenario(g, mcfs.CoworkingConfig{
+			Venues: p.venues, Customers: p.m, Seed: p.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sc.Instance(g, p.k), nil
+	case "bikes":
+		g, err := buildCity(p)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := mcfs.NewBikesScenario(g, mcfs.BikesConfig{
+			Stations: p.stations, Bikes: p.m, Seed: p.seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sc.Instance(g, p.k), nil
+	case "dimacs":
+		g, err := loadDIMACS(p)
+		if err != nil {
+			return nil, err
+		}
+		return assemble(g, p, rng, capFn), nil
+	default:
+		return nil, fmt.Errorf("unknown -type %q", typ)
+	}
+}
+
+// loadDIMACS reads a road network in 9th-DIMACS-challenge format,
+// collapsing the symmetric arc pairs of standard distributions.
+func loadDIMACS(p genParams) (*mcfs.Graph, error) {
+	if p.gr == "" {
+		return nil, fmt.Errorf("-type dimacs requires -gr")
+	}
+	grF, err := os.Open(p.gr)
+	if err != nil {
+		return nil, err
+	}
+	defer grF.Close()
+	var coR io.Reader
+	if p.co != "" {
+		coF, err := os.Open(p.co)
+		if err != nil {
+			return nil, err
+		}
+		defer coF.Close()
+		coR = coF
+	}
+	return mcfs.ReadDIMACSGraph(grF, coR, true)
+}
+
+func buildCity(p genParams) (*mcfs.Graph, error) {
+	cp, err := mcfs.CityPreset(p.city, p.scale, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	return mcfs.GenerateCity(cp)
+}
+
+// assemble samples customers/facilities from the largest component so
+// the written instance is feasible by construction.
+func assemble(g *mcfs.Graph, p genParams, rng *rand.Rand, capFn func(int) int) *mcfs.Instance {
+	pool := mcfs.LargestComponent(g)
+	var facs []mcfs.Facility
+	if p.facAll {
+		facs = mcfs.NodesFacilities(pool, capFn)
+	} else {
+		facs = mcfs.SampleFacilitiesFrom(pool, p.l, rng, capFn)
+	}
+	return &mcfs.Instance{
+		G:          g,
+		Customers:  mcfs.SampleCustomersFrom(pool, p.m, rng),
+		Facilities: facs,
+		K:          p.k,
+	}
+}

@@ -1,0 +1,130 @@
+package mcfs_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"mcfs"
+)
+
+// ExampleSolve builds a tiny network by hand and runs the Wide Matching
+// Algorithm.
+func ExampleSolve() {
+	// A path 0—1—2—3—4 with unit-length roads.
+	b := mcfs.NewGraphBuilder(5, false)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &mcfs.Instance{
+		G:         g,
+		Customers: []int32{0, 1, 4},
+		Facilities: []mcfs.Facility{
+			{Node: 1, Capacity: 2},
+			{Node: 3, Capacity: 2},
+			{Node: 4, Capacity: 1},
+		},
+		K: 2,
+	}
+	sol, err := mcfs.Solve(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("objective:", sol.Objective)
+	for i, j := range sol.Assignment {
+		fmt.Printf("customer at node %d -> facility at node %d\n",
+			inst.Customers[i], inst.Facilities[j].Node)
+	}
+	// Output:
+	// objective: 1
+	// customer at node 0 -> facility at node 1
+	// customer at node 1 -> facility at node 1
+	// customer at node 4 -> facility at node 4
+}
+
+// ExampleSolveExact shows the exact solver agreeing with WMA on a small
+// instance.
+func ExampleSolveExact() {
+	b := mcfs.NewGraphBuilder(4, false)
+	b.AddEdge(0, 1, 2).AddEdge(1, 2, 2).AddEdge(2, 3, 2)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &mcfs.Instance{
+		G:          g,
+		Customers:  []int32{0, 3},
+		Facilities: []mcfs.Facility{{Node: 1, Capacity: 1}, {Node: 2, Capacity: 1}},
+		K:          2,
+	}
+	res, err := mcfs.SolveExact(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optimal:", res.Optimal, "objective:", res.Solution.Objective)
+	// Output:
+	// optimal: true objective: 4
+}
+
+// ExampleNewReallocator serves an arrival incrementally.
+func ExampleNewReallocator() {
+	b := mcfs.NewGraphBuilder(5, false)
+	for i := int32(0); i < 4; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &mcfs.Instance{
+		G:          g,
+		Customers:  []int32{0},
+		Facilities: []mcfs.Facility{{Node: 1, Capacity: 2}, {Node: 3, Capacity: 2}},
+		K:          2,
+	}
+	r, err := mcfs.NewReallocator(inst, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := r.AddCustomer(4); err != nil {
+		log.Fatal(err)
+	}
+	obj, err := r.Objective()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("customers:", r.Customers(), "objective:", obj)
+	// Output:
+	// customers: 2 objective: 2
+}
+
+// ExampleWriteInstance round-trips an instance through the text format.
+func ExampleWriteInstance() {
+	b := mcfs.NewGraphBuilder(2, false)
+	b.AddEdge(0, 1, 7)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := &mcfs.Instance{
+		G:          g,
+		Customers:  []int32{0},
+		Facilities: []mcfs.Facility{{Node: 1, Capacity: 1}},
+		K:          1,
+	}
+	buf := &bytes.Buffer{}
+	if err := mcfs.WriteInstance(buf, inst); err != nil {
+		log.Fatal(err)
+	}
+	back, err := mcfs.ReadInstance(buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("customers:", back.M(), "facilities:", back.L(), "k:", back.K)
+	// Output:
+	// customers: 1 facilities: 1 k: 1
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcfs/internal/data"
+	"mcfs/internal/gen"
+)
+
+func init() {
+	register("T3", runT3)
+	register("T4", runT4)
+	register("F10", runF10)
+}
+
+// cityScale converts the global scale into a city-size fraction: the
+// default run builds each city at 5% of its Table III node count; scale
+// 20 reproduces the paper's full sizes.
+func cityScale(cfg Config) float64 { return 0.05 * cfg.Scale }
+
+// runT3 generates all four city networks and reports their Table III
+// statistics next to the paper's originals.
+func runT3(cfg Config, emit func(Row)) error {
+	paper := map[string]string{
+		"aalborg":    "paper: 50961 nodes, 55748 edges, deg 2.2/7, len 30.2",
+		"riga":       "paper: 287927 nodes, 322109 edges, deg 2.2/29, len 28.7",
+		"copenhagen": "paper: 282826 nodes, 322349 edges, deg 2.2/10, len 32.6",
+		"lasvegas":   "paper: 425759 nodes, 508522 edges, deg 2.4/21, len 50.4",
+	}
+	for i, name := range gen.CityNames {
+		p, err := gen.CityPreset(name, cityScale(cfg), cfg.Seed)
+		if err != nil {
+			return err
+		}
+		g, err := gen.City(p)
+		if err != nil {
+			return err
+		}
+		st := gen.Stats(g)
+		emit(Row{
+			Exp: "T3", X: name, XVal: float64(i), Objective: -1,
+			Note: fmt.Sprintf("nodes=%d edges=%d avgdeg=%.2f maxdeg=%d avglen=%.1f | %s",
+				st.Nodes, st.Edges, st.AvgDegree, st.MaxDegree, st.AvgEdgeLength, paper[name]),
+		})
+	}
+	return nil
+}
+
+// cityInstance builds a Table IV-style workload on a city: m customers,
+// every largest-component node a candidate facility with capacity c.
+func cityInstance(name string, cfg Config, m, k, c int) (*data.Instance, error) {
+	p, err := gen.CityPreset(name, cityScale(cfg), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g, err := gen.City(p)
+	if err != nil {
+		return nil, err
+	}
+	pool := gen.LargestComponent(g)
+	if m > len(pool) {
+		m = len(pool)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	return &data.Instance{
+		G:          g,
+		Customers:  gen.SampleCustomersFrom(pool, m, rng),
+		Facilities: gen.NodesFacilities(pool, gen.UniformCapacity(c)),
+		K:          k,
+	}, nil
+}
+
+// runT4 reproduces Table IV: the four cities with m = 512, k = 51,
+// c = 20, ℓ = n. The exact solver is reported as failing (the paper's
+// Gurobi "did not terminate within one week"); BRNN is included as the
+// paper does.
+func runT4(cfg Config, emit func(Row)) error {
+	for i, name := range gen.CityNames {
+		inst, err := cityInstance(name, cfg, 512, 51, 20)
+		if err != nil {
+			return err
+		}
+		x, xv := name, float64(i)
+		if !cfg.SkipBRNN {
+			runAlgo("T4", x, xv, AlgoBRNN, inst, cfg, cfg.Seed, emit)
+		}
+		runAlgo("T4", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
+		runAlgo("T4", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
+		runAlgo("T4", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
+		if !cfg.SkipExact {
+			runAlgo("T4", x, xv, AlgoExact, inst, cfg, cfg.Seed, emit)
+		}
+	}
+	return nil
+}
+
+// runF10 reproduces the Aalborg scalability experiment: growing m with
+// k = 0.1·m, c = 20 (o = 0.5), ℓ = n.
+func runF10(cfg Config, emit func(Row)) error {
+	p, err := gen.CityPreset("aalborg", 2*cityScale(cfg), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	g, err := gen.City(p)
+	if err != nil {
+		return err
+	}
+	pool := gen.LargestComponent(g)
+	facs := gen.NodesFacilities(pool, gen.UniformCapacity(20))
+	for idx, m := range scaleInts([]int{128, 256, 512, 1024}, cfg.Scale) {
+		if m > len(pool) {
+			m = len(pool)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(m)))
+		inst := &data.Instance{
+			G:          g,
+			Customers:  gen.SampleCustomersFrom(pool, m, rng),
+			Facilities: facs,
+			K:          max(1, m/10),
+		}
+		x, xv := "m", float64(m)
+		runAlgo("F10", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
+		runAlgo("F10", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
+		runAlgo("F10", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
+		if !cfg.SkipBRNN && idx == 0 {
+			runAlgo("F10", x, xv, AlgoBRNN, inst, cfg, cfg.Seed, emit)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteCSV emits rows in a flat machine-readable form.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"exp", "x", "xval", "algo", "objective", "runtime_ns", "note"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Exp, r.X, strconv.FormatFloat(r.XVal, 'g', -1, 64), string(r.Algo),
+			strconv.FormatInt(r.Objective, 10), strconv.FormatInt(int64(r.Runtime), 10), r.Note,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMarkdown renders one table per experiment: rows grouped by x
+// value, one (objective, runtime) column pair per algorithm. Stat-only
+// rows (no algorithm) render as bullet lists. Timeouts appear as
+// "(incumbent)*"; infeasible/errored points as their note.
+func WriteMarkdown(w io.Writer, rows []Row) error {
+	byExp := map[string][]Row{}
+	var expOrder []string
+	for _, r := range rows {
+		if _, ok := byExp[r.Exp]; !ok {
+			expOrder = append(expOrder, r.Exp)
+		}
+		byExp[r.Exp] = append(byExp[r.Exp], r)
+	}
+	pf := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for _, exp := range expOrder {
+		rs := byExp[exp]
+		if err := pf("## %s\n\n", exp); err != nil {
+			return err
+		}
+		if rs[0].Algo == "" {
+			for _, r := range rs {
+				if err := pf("- **%s**: %s\n", r.X, r.Note); err != nil {
+					return err
+				}
+			}
+			if err := pf("\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		var algos []string
+		seen := map[string]bool{}
+		for _, r := range rs {
+			if a := string(r.Algo); !seen[a] {
+				seen[a] = true
+				algos = append(algos, a)
+			}
+		}
+		type key struct {
+			xv float64
+			x  string
+		}
+		cells := map[key]map[string]Row{}
+		var keys []key
+		for _, r := range rs {
+			k := key{r.XVal, r.X}
+			if _, ok := cells[k]; !ok {
+				cells[k] = map[string]Row{}
+				keys = append(keys, k)
+			}
+			cells[k][string(r.Algo)] = r
+		}
+		sort.SliceStable(keys, func(i, j int) bool { return keys[i].xv < keys[j].xv })
+
+		pf("| %s |", rs[0].X)
+		for _, a := range algos {
+			pf(" %s obj | %s time |", a, a)
+		}
+		pf("\n|---|")
+		for range algos {
+			pf("---|---|")
+		}
+		pf("\n")
+		for _, k := range keys {
+			label := strconv.FormatFloat(k.xv, 'g', -1, 64)
+			if !numericAxis(k.x) {
+				label = k.x
+			}
+			pf("| %s |", label)
+			for _, a := range algos {
+				r, ok := cells[k][a]
+				switch {
+				case !ok:
+					pf(" – | – |")
+				case r.Note == "timeout":
+					pf(" (%d)* | >%s |", r.Objective, r.Runtime.Round(time.Millisecond))
+				case r.Objective < 0:
+					pf(" %s | %s |", r.Note, r.Runtime.Round(time.Microsecond))
+				default:
+					pf(" %d | %s |", r.Objective, r.Runtime.Round(time.Microsecond))
+				}
+			}
+			if err := pf("\n"); err != nil {
+				return err
+			}
+		}
+		if err := pf("\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func numericAxis(x string) bool {
+	switch x {
+	case "n", "m", "k", "c", "l%", "avgdeg", "iter":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRows() []Row {
+	return []Row{
+		{Exp: "F6a", X: "n", XVal: 1000, Algo: AlgoWMA, Objective: 123, Runtime: time.Millisecond},
+		{Exp: "F6a", X: "n", XVal: 1000, Algo: AlgoExact, Objective: 120, Runtime: 10 * time.Second, Note: "timeout"},
+		{Exp: "F6a", X: "n", XVal: 2000, Algo: AlgoWMA, Objective: 456, Runtime: 2 * time.Millisecond},
+		{Exp: "T3", X: "aalborg", XVal: 0, Note: "nodes=100 edges=120"},
+	}
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 { // header + 4 rows
+		t.Fatalf("got %d records", len(records))
+	}
+	if records[0][0] != "exp" || records[1][0] != "F6a" || records[1][4] != "123" {
+		t.Fatalf("unexpected csv contents: %v", records[:2])
+	}
+	if records[2][6] != "timeout" {
+		t.Fatalf("note column lost: %v", records[2])
+	}
+}
+
+func TestWriteMarkdownShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## F6a", "## T3",
+		"| n |", "wma obj",
+		"| 1000 |", "| 2000 |",
+		"(120)*",                   // timeout incumbent
+		"- **aalborg**: nodes=100", // stat row as bullet
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cells render as dashes (exact absent at n=2000).
+	if !strings.Contains(out, "–") {
+		t.Fatal("missing-cell dash absent")
+	}
+}
+
+func TestWriteMarkdownEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty rows produced output: %q", buf.String())
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import "mcfs/internal/pq"
+
+// Coverage is the view of a running customer↔facility assignment that
+// the set-cover routine needs. *bipartite.Matcher implements it; the
+// WMA-Naïve baseline provides its own greedy implementation.
+type Coverage interface {
+	// M is the number of customers, L the number of facilities.
+	M() int
+	L() int
+	// AssignedCount returns |σ_j|: how many customers are currently
+	// assigned to facility j (never exceeding its capacity).
+	AssignedCount(j int) int
+	// Assigned calls fn for every customer assigned to facility j.
+	Assigned(j int, fn func(cust int))
+	// Touched calls fn for every facility that has ever held an
+	// assignment — the only candidates with possible nonzero gain.
+	Touched(fn func(j int))
+}
+
+// CheckCover implements Algorithm 3: a lazy-greedy (CELF-style) maximum
+// coverage pass that selects up to k facilities by marginal gain — the
+// number of customers they are assigned that no earlier-selected
+// facility covers. Ties break by least-recently-used iteration
+// (lastUsed, the paper's diversification strategy) and then by facility
+// index; TieArbitrary skips the LRU term (ablation).
+//
+// It returns the selection, the exploration vector Δd as a bool slice
+// (true = customer uncovered, demand should grow), and whether the
+// selection covers every customer. Selection stops early once full
+// coverage is reached (enabling Algorithm 4) or when remaining gains are
+// zero (the leftover budget is better spent by SelectGreedy).
+func CheckCover(view Coverage, k int, lastUsed []int, tie TieBreak) (selection []int, deltaD []bool, covered bool) {
+	m := view.M()
+	type item struct {
+		fac  int
+		gain int
+	}
+	less := func(a, b item) bool {
+		if a.gain != b.gain {
+			return a.gain > b.gain
+		}
+		if tie == TieLRU && lastUsed[a.fac] != lastUsed[b.fac] {
+			return lastUsed[a.fac] < lastUsed[b.fac]
+		}
+		return a.fac < b.fac
+	}
+	heap := pq.NewHeap(less)
+	view.Touched(func(j int) {
+		if g := view.AssignedCount(j); g > 0 {
+			heap.Push(item{fac: j, gain: g})
+		}
+	})
+
+	isCovered := make([]bool, m)
+	remaining := m
+	gainOf := func(j int) int {
+		gain := 0
+		view.Assigned(j, func(c int) {
+			if !isCovered[c] {
+				gain++
+			}
+		})
+		return gain
+	}
+	for len(selection) < k && heap.Len() > 0 {
+		top := heap.Pop()
+		if g := gainOf(top.fac); g != top.gain {
+			if g > 0 {
+				heap.Push(item{fac: top.fac, gain: g})
+			}
+			continue
+		}
+		if top.gain == 0 {
+			break
+		}
+		selection = append(selection, top.fac)
+		view.Assigned(top.fac, func(c int) {
+			if !isCovered[c] {
+				isCovered[c] = true
+				remaining--
+			}
+		})
+		if remaining == 0 {
+			break
+		}
+	}
+
+	deltaD = make([]bool, m)
+	for i := range deltaD {
+		deltaD[i] = !isCovered[i]
+	}
+	return selection, deltaD, remaining == 0
+}

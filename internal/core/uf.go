@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+
+	"mcfs/internal/data"
+)
+
+// SolveUniformFirst implements the paper's Uniform First (UF) strategy
+// for nonuniform instances (§VII-F): first select facilities as if every
+// capacity equaled the (ceiling of the) average capacity — which may
+// expose better locations unbiased by capacity skew — then rebuild the
+// assignment against the true nonuniform capacities in a single optimal
+// bipartite matching step, repairing the selection per component if the
+// true capacities fall short. Falls back to the Direct strategy when the
+// uniformized instance is infeasible.
+func SolveUniformFirst(inst *data.Instance, opt Options) (*data.Solution, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if ok, _ := inst.Feasible(); !ok {
+		return nil, data.ErrInfeasible
+	}
+	if inst.L() == 0 || inst.M() == 0 {
+		return Solve(inst, opt)
+	}
+	avg := (inst.TotalCapacity() + inst.L() - 1) / inst.L()
+	uniform := &data.Instance{
+		G:          inst.G,
+		Customers:  inst.Customers,
+		Facilities: make([]data.Facility, inst.L()),
+		K:          inst.K,
+	}
+	for j, f := range inst.Facilities {
+		uniform.Facilities[j] = data.Facility{Node: f.Node, Capacity: avg}
+	}
+	if ok, _ := uniform.Feasible(); !ok {
+		return Solve(inst, opt)
+	}
+	uniSol, err := Solve(uniform, opt)
+	if err != nil {
+		if errors.Is(err, data.ErrInfeasible) {
+			return Solve(inst, opt)
+		}
+		return nil, err
+	}
+	// Re-validate the selection against the true capacities, repairing
+	// component shortfalls before the final matching.
+	selection, err := CoverComponents(inst, append([]int(nil), uniSol.Selected...))
+	if err != nil {
+		return Solve(inst, opt)
+	}
+	sol, err := AssignToSelection(inst, selection, opt)
+	if err != nil {
+		if errors.Is(err, data.ErrInfeasible) {
+			return Solve(inst, opt)
+		}
+		return nil, err
+	}
+	return sol, nil
+}

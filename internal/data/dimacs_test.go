@@ -1,0 +1,130 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mcfs/internal/graph"
+)
+
+const sampleGR = `c tiny road network
+p sp 4 6
+a 1 2 10
+a 2 1 10
+a 2 3 20
+a 3 2 20
+a 3 4 5
+a 4 3 5
+`
+
+const sampleCO = `c coords
+p aux sp co 4
+v 1 0 0
+v 2 10 0
+v 3 10 20
+v 4 15 20
+`
+
+func TestReadDIMACSUndirected(t *testing.T) {
+	g, err := ReadDIMACSGraph(strings.NewReader(sampleGR), strings.NewReader(sampleCO), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4/3", g.N(), g.M())
+	}
+	if g.Directed() {
+		t.Fatal("undirected graph marked directed")
+	}
+	d := g.Dijkstra(0)
+	if d[3] != 35 {
+		t.Fatalf("dist 1→4 = %d, want 35", d[3])
+	}
+	if !g.HasCoords() {
+		t.Fatal("coordinates lost")
+	}
+	if x, y := g.Coord(3); x != 15 || y != 20 {
+		t.Fatalf("coord(4) = (%v,%v)", x, y)
+	}
+}
+
+func TestReadDIMACSDirected(t *testing.T) {
+	// Asymmetric: drop the reverse of one arc.
+	gr := `p sp 3 3
+a 1 2 7
+a 2 1 9
+a 2 3 1
+`
+	g, err := ReadDIMACSGraph(strings.NewReader(gr), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("directed graph not marked directed")
+	}
+	if d := g.Dijkstra(0); d[2] != 8 {
+		t.Fatalf("dist 1→3 = %d, want 8", d[2])
+	}
+	if d := g.Dijkstra(2); d[0] < graph.Inf {
+		t.Fatalf("node 3 should not reach node 1, got %d", d[0])
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no problem line
+		"p sp 2 1\n",           // missing arcs
+		"a 1 2 3\n",            // arc before problem line
+		"p sp 2 1\na 1 5 3\n",  // endpoint out of range
+		"p sp 2 1\nx nope\n",   // unknown line
+		"p sp 2 1\na 1 2\n",    // malformed arc
+		"p sp 2 2\na 1 2 3\n",  // arc count mismatch
+		"p sp 2 1\np sp 2 1\n", // duplicate problem line
+	}
+	for i, src := range cases {
+		if _, err := ReadDIMACSGraph(strings.NewReader(src), nil, false); err == nil {
+			t.Fatalf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestReadDIMACSCoordErrors(t *testing.T) {
+	gr := "p sp 2 1\na 1 2 3\n"
+	cases := []string{
+		"v 1 0 0\n",          // missing node 2
+		"v 9 0 0\nv 2 1 1\n", // id out of range
+		"w 1 0 0\n",          // unknown line
+		"v 1 0\nv 2 1 1\n",   // malformed
+	}
+	for i, co := range cases {
+		if _, err := ReadDIMACSGraph(strings.NewReader(gr), strings.NewReader(co), false); err == nil {
+			t.Fatalf("case %d accepted: %q", i, co)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g, err := ReadDIMACSGraph(strings.NewReader(sampleGR), strings.NewReader(sampleCO), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grBuf, coBuf bytes.Buffer
+	if err := WriteDIMACSGraph(&grBuf, &coBuf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDIMACSGraph(&grBuf, &coBuf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	d1 := g.Dijkstra(0)
+	d2 := back.Dijkstra(0)
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("distance changed at node %d", v)
+		}
+	}
+}

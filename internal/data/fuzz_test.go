@@ -1,0 +1,40 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance checks that the parser never panics on arbitrary
+// input and that everything it accepts round-trips losslessly.
+func FuzzReadInstance(f *testing.F) {
+	f.Add("mcfs 1\ngraph 2 1 0 0\n0 1 5\ncustomers 1\n0\nfacilities 1\n1 3\nk 1\n")
+	f.Add("mcfs 1\ngraph 3 2 1 1\n0 0\n1 1\n2 2\n0 1 5\n1 2 7\ncustomers 0\nfacilities 0\nk 0\n")
+	f.Add("# comment\nmcfs 1\ngraph 0 0 0 0\ncustomers 0\nfacilities 0\nk 0\n")
+	f.Add("mcfs 2\n")
+	f.Add("garbage")
+	f.Add("mcfs 1\ngraph 1 0 0 0\ncustomers 1\n-9\nfacilities 0\nk 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		inst, err := ReadInstance(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted instances must be valid and survive a round trip.
+		if verr := inst.Validate(); verr != nil {
+			t.Fatalf("parser accepted invalid instance: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteInstance(&buf, inst); werr != nil {
+			t.Fatalf("rewrite failed: %v", werr)
+		}
+		again, rerr := ReadInstance(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip failed: %v", rerr)
+		}
+		if again.M() != inst.M() || again.L() != inst.L() || again.K != inst.K ||
+			again.G.N() != inst.G.N() || again.G.M() != inst.G.M() {
+			t.Fatal("round trip changed the instance")
+		}
+	})
+}

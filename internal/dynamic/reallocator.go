@@ -1,0 +1,287 @@
+// Package dynamic implements the repeated-solving scenario that
+// motivates MCFS in the paper's introduction: "the problem may need to
+// be solved scalably and repeatedly, as in applications requiring the
+// dynamic reallocation of customers to facilities."
+//
+// A Reallocator keeps a facility selection open while the customer
+// population changes. Arrivals are served incrementally — one optimal
+// augmenting path each, reusing the engine's potentials and per-customer
+// search state — so the running assignment is always the minimum-cost
+// assignment of the current customers to the current selection.
+// Departures are batched and applied by rebuilding the matching at the
+// next query (removing one unit of flow can invalidate the engine's
+// optimality invariants, so a rebuild is the correct primitive; batch
+// removals to amortize it). The facility selection itself is re-solved
+// from scratch (full WMA) when the incremental assignment's cost drifts
+// beyond a configurable factor of the last full solve, when an arrival
+// cannot be served by the open facilities, or on explicit Refresh.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+
+	"mcfs/internal/bipartite"
+	"mcfs/internal/core"
+	"mcfs/internal/data"
+	"mcfs/internal/graph"
+)
+
+// Options tunes a Reallocator.
+type Options struct {
+	// Core configures the underlying WMA solves.
+	Core core.Options
+	// DriftFactor triggers a full re-selection when the incremental
+	// objective exceeds DriftFactor × the objective right after the last
+	// full solve. Values <= 1 disable drift-triggered re-solves only if
+	// exactly 0; default is 1.5.
+	DriftFactor float64
+}
+
+// Stats counts the work a Reallocator has performed.
+type Stats struct {
+	FullSolves int // complete WMA re-selections
+	Rebuilds   int // assignment rebuilds (removal batches, re-selections)
+	Arrivals   int
+	Departures int
+}
+
+// Reallocator maintains an MCFS solution under customer churn.
+type Reallocator struct {
+	g          *graph.Graph
+	facilities []data.Facility // full candidate catalogue
+	k          int
+	opt        Options
+
+	customers map[int]int32 // handle → node
+	order     []int         // live handles in deterministic order
+	nextID    int
+
+	selected  []int // global facility indexes currently open
+	mt        *bipartite.Matcher
+	handleOf  []int // matcher customer index → handle
+	pendingRm bool
+
+	baseObjective int64 // objective right after the last full solve
+	stats         Stats
+}
+
+// New builds a Reallocator from an initial instance, performing one full
+// solve. The instance's customers become handles 0..m-1.
+func New(inst *data.Instance, opt Options) (*Reallocator, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DriftFactor == 0 {
+		opt.DriftFactor = 1.5
+	}
+	r := &Reallocator{
+		g:          inst.G,
+		facilities: inst.Facilities,
+		k:          inst.K,
+		opt:        opt,
+		customers:  make(map[int]int32, inst.M()),
+	}
+	for _, node := range inst.Customers {
+		r.customers[r.nextID] = node
+		r.order = append(r.order, r.nextID)
+		r.nextID++
+	}
+	if err := r.fullSolve(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// instance materializes the current population as a data.Instance.
+func (r *Reallocator) instance() *data.Instance {
+	custs := make([]int32, len(r.order))
+	for i, h := range r.order {
+		custs[i] = r.customers[h]
+	}
+	return &data.Instance{G: r.g, Customers: custs, Facilities: r.facilities, K: r.k}
+}
+
+// fullSolve re-selects facilities with WMA and rebuilds the matching.
+func (r *Reallocator) fullSolve() error {
+	inst := r.instance()
+	sol, err := core.Solve(inst, r.opt.Core)
+	if err != nil {
+		return err
+	}
+	r.selected = sol.Selected
+	r.stats.FullSolves++
+	if err := r.rebuild(); err != nil {
+		return err
+	}
+	r.baseObjective = r.mt.TotalMatchedCost()
+	return nil
+}
+
+// rebuild reconstructs the optimal assignment of the live customers to
+// the open facilities.
+func (r *Reallocator) rebuild() error {
+	subset := make([]data.Facility, len(r.selected))
+	for i, j := range r.selected {
+		subset[i] = r.facilities[j]
+	}
+	custs := make([]int32, len(r.order))
+	for i, h := range r.order {
+		custs[i] = r.customers[h]
+	}
+	mt := bipartite.New(r.g, custs, subset)
+	mt.SetExhaustive(r.opt.Core.Exhaustive)
+	for i := range custs {
+		if !mt.FindPair(i) {
+			return fmt.Errorf("dynamic: customer %d unservable by open facilities: %w", r.order[i], data.ErrInfeasible)
+		}
+	}
+	r.mt = mt
+	r.handleOf = append(r.handleOf[:0], r.order...)
+	r.pendingRm = false
+	r.stats.Rebuilds++
+	return nil
+}
+
+// flush applies pending departures.
+func (r *Reallocator) flush() error {
+	if !r.pendingRm {
+		return nil
+	}
+	return r.rebuild()
+}
+
+// AddCustomer admits a new customer at the given network node and
+// returns its handle. The arrival is assigned incrementally; if the open
+// facilities cannot serve it (capacity exhausted or unreachable), a full
+// re-selection runs, and data.ErrInfeasible is returned only when even
+// the full candidate catalogue cannot serve the population.
+func (r *Reallocator) AddCustomer(node int32) (int, error) {
+	if node < 0 || int(node) >= r.g.N() {
+		return 0, fmt.Errorf("dynamic: node %d out of range", node)
+	}
+	if err := r.flush(); err != nil && !errors.Is(err, data.ErrInfeasible) {
+		return 0, err
+	} else if err != nil {
+		// Open facilities cannot even serve the remaining population; try
+		// a full re-selection before admitting the newcomer.
+		if err := r.fullSolve(); err != nil {
+			return 0, err
+		}
+	}
+	h := r.nextID
+	r.nextID++
+	r.customers[h] = node
+	r.order = append(r.order, h)
+	r.stats.Arrivals++
+
+	idx := r.mt.AddCustomer(node)
+	r.handleOf = append(r.handleOf, h)
+	if !r.mt.FindPair(idx) {
+		// Selection saturated: re-select with the newcomer included.
+		if err := r.fullSolve(); err != nil {
+			// Admission failed entirely: roll the newcomer back and force
+			// a rebuild so the matcher drops its unmatched stub.
+			r.dropHandle(h)
+			r.pendingRm = true
+			return 0, err
+		}
+		return h, nil
+	}
+	if r.driftExceeded() {
+		if err := r.fullSolve(); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+// RemoveCustomer schedules the departure of a customer; the assignment
+// is rebuilt lazily at the next query or arrival.
+func (r *Reallocator) RemoveCustomer(handle int) error {
+	if _, ok := r.customers[handle]; !ok {
+		return fmt.Errorf("dynamic: unknown customer handle %d", handle)
+	}
+	r.dropHandle(handle)
+	r.stats.Departures++
+	r.pendingRm = true
+	return nil
+}
+
+func (r *Reallocator) dropHandle(h int) {
+	delete(r.customers, h)
+	for i, v := range r.order {
+		if v == h {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *Reallocator) driftExceeded() bool {
+	if r.opt.DriftFactor <= 0 {
+		return false
+	}
+	cur := r.mt.TotalMatchedCost()
+	return float64(cur) > r.opt.DriftFactor*float64(r.baseObjective)+0.5
+}
+
+// Objective returns the current total assignment distance (applying any
+// pending departures first).
+func (r *Reallocator) Objective() (int64, error) {
+	if err := r.flush(); err != nil {
+		return 0, err
+	}
+	return r.mt.TotalMatchedCost(), nil
+}
+
+// Selected returns the currently open facilities as indexes into the
+// candidate catalogue.
+func (r *Reallocator) Selected() []int {
+	return append([]int(nil), r.selected...)
+}
+
+// Assignment returns the current customer→facility mapping keyed by
+// handle, with facility values indexing the candidate catalogue.
+func (r *Reallocator) Assignment() (map[int]int, error) {
+	if err := r.flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[int]int, len(r.order))
+	for idx, h := range r.handleOf {
+		facs, _ := r.mt.Matches(idx)
+		if len(facs) != 1 {
+			return nil, fmt.Errorf("dynamic: customer %d holds %d assignments", h, len(facs))
+		}
+		out[h] = r.selected[facs[0]]
+	}
+	return out, nil
+}
+
+// Solution materializes a data.Solution for the current population (in
+// handle order) — convenient for CheckSolution-style verification.
+func (r *Reallocator) Solution() (*data.Instance, *data.Solution, error) {
+	if err := r.flush(); err != nil {
+		return nil, nil, err
+	}
+	asg, err := r.Assignment()
+	if err != nil {
+		return nil, nil, err
+	}
+	inst := r.instance()
+	assignment := make([]int, len(r.order))
+	for i, h := range r.order {
+		assignment[i] = asg[h]
+	}
+	obj := r.mt.TotalMatchedCost()
+	return inst, &data.Solution{Selected: r.Selected(), Assignment: assignment, Objective: obj}, nil
+}
+
+// Customers returns the number of live customers.
+func (r *Reallocator) Customers() int { return len(r.order) }
+
+// Stats returns work counters.
+func (r *Reallocator) Stats() Stats { return r.stats }
+
+// Refresh forces a full re-selection and rebuild.
+func (r *Reallocator) Refresh() error { return r.fullSolve() }

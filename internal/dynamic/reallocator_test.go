@@ -1,0 +1,265 @@
+package dynamic
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mcfs/internal/core"
+	"mcfs/internal/data"
+	"mcfs/internal/graph"
+	"mcfs/internal/testutil"
+)
+
+func lineInstance(t *testing.T) *data.Instance {
+	t.Helper()
+	b := graph.NewBuilder(10, false)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(int32(i), int32(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var facs []data.Facility
+	for v := 0; v < 10; v += 2 {
+		facs = append(facs, data.Facility{Node: int32(v), Capacity: 2})
+	}
+	return &data.Instance{
+		G:          g,
+		Customers:  []int32{1, 7},
+		Facilities: facs,
+		K:          3,
+	}
+}
+
+// verify checks the reallocator's current state against a from-scratch
+// evaluation: structural validity and assignment optimality given the
+// open selection.
+func verify(t *testing.T, r *Reallocator) {
+	t.Helper()
+	inst, sol, err := r.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.CheckSolution(sol); err != nil {
+		t.Fatalf("reallocator state invalid: %v", err)
+	}
+	// The incremental assignment must be optimal for the open selection.
+	want, err := core.AssignToSelection(inst, sol.Selected, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != want.Objective {
+		t.Fatalf("incremental objective %d != optimal %d for the open selection",
+			sol.Objective, want.Objective)
+	}
+}
+
+func TestReallocatorInitialMatchesSolve(t *testing.T) {
+	inst := lineInstance(t)
+	r, err := New(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.Solve(inst, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := r.Objective()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != direct.Objective {
+		t.Fatalf("initial objective %d != direct solve %d", obj, direct.Objective)
+	}
+	verify(t, r)
+}
+
+func TestReallocatorArrivalsIncremental(t *testing.T) {
+	inst := lineInstance(t)
+	r, err := New(inst, Options{DriftFactor: 100}) // keep selection fixed
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int32{3, 5, 9} {
+		if _, err := r.AddCustomer(node); err != nil {
+			t.Fatal(err)
+		}
+		verify(t, r)
+	}
+	if r.Customers() != 5 {
+		t.Fatalf("customers = %d, want 5", r.Customers())
+	}
+	st := r.Stats()
+	if st.Arrivals != 3 {
+		t.Fatalf("arrivals = %d", st.Arrivals)
+	}
+}
+
+func TestReallocatorDepartures(t *testing.T) {
+	inst := lineInstance(t)
+	r, err := New(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.AddCustomer(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveCustomer(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveCustomer(h); err == nil {
+		t.Fatal("double removal accepted")
+	}
+	if err := r.RemoveCustomer(0); err != nil { // initial customer, handle 0
+		t.Fatal(err)
+	}
+	verify(t, r)
+	if r.Customers() != 1 {
+		t.Fatalf("customers = %d, want 1", r.Customers())
+	}
+	if st := r.Stats(); st.Departures != 2 {
+		t.Fatalf("departures = %d", st.Departures)
+	}
+}
+
+func TestReallocatorSaturationTriggersReselect(t *testing.T) {
+	// Selection capacity 2×3=6 with k=3; admit customers until the open
+	// set saturates and a full re-solve must kick in, then until even the
+	// catalogue is exhausted.
+	inst := lineInstance(t)
+	inst.K = 2                                   // open capacity 4
+	r, err := New(inst, Options{DriftFactor: 0}) // only saturation can re-solve
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullBefore := r.Stats().FullSolves
+	admitted := 0
+	var lastErr error
+	for i := 0; i < 12; i++ {
+		if _, err := r.AddCustomer(int32(i % 10)); err != nil {
+			lastErr = err
+			break
+		}
+		admitted++
+		verify(t, r)
+	}
+	// Catalogue capacity is 10 with k=2 → max open capacity 4... after
+	// re-selection k=2 picks the two cap-2 facilities: total 4 seats, 2
+	// taken initially → at most 2 more than the initial 2 fit per open
+	// set, but re-selection cannot exceed 4 seats total.
+	if lastErr == nil {
+		t.Fatalf("12 arrivals all admitted beyond capacity (admitted=%d)", admitted)
+	}
+	if !errors.Is(lastErr, data.ErrInfeasible) {
+		t.Fatalf("saturation error = %v, want ErrInfeasible", lastErr)
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d, want 2 (4 seats, 2 initial customers)", admitted)
+	}
+	if r.Stats().FullSolves == fullBefore {
+		t.Fatal("saturation never triggered a full re-solve")
+	}
+}
+
+func TestReallocatorDriftTriggersReselect(t *testing.T) {
+	inst := lineInstance(t)
+	r, err := New(inst, Options{DriftFactor: 1.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats().FullSolves
+	// Arrivals far from the initial selection inflate the objective.
+	for _, node := range []int32{9, 9} {
+		if _, err := r.AddCustomer(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Stats().FullSolves == before {
+		t.Fatal("drift never triggered a re-selection")
+	}
+	verify(t, r)
+}
+
+func TestReallocatorRandomChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		inst := testutil.RandomInstance(rng, testutil.Params{
+			MinNodes: 20, MaxNodes: 60,
+			MaxCustomers: 6, MaxFacilities: 8,
+			MaxCapacity: 4, MaxWeight: 20,
+		})
+		// Ample budget so churn stays feasible.
+		inst.K = inst.L()
+		r, err := New(inst, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var handles []int
+		for h := 0; h < inst.M(); h++ {
+			handles = append(handles, h)
+		}
+		for step := 0; step < 25; step++ {
+			if len(handles) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(handles))
+				if err := r.RemoveCustomer(handles[i]); err != nil {
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+				handles = append(handles[:i], handles[i+1:]...)
+			} else {
+				h, err := r.AddCustomer(int32(rng.Intn(inst.G.N())))
+				if err != nil {
+					if errors.Is(err, data.ErrInfeasible) {
+						continue // catalogue saturated or unreachable node: acceptable
+					}
+					t.Fatalf("trial %d step %d: %v", trial, step, err)
+				}
+				handles = append(handles, h)
+			}
+			if step%5 == 0 {
+				verify(t, r)
+			}
+		}
+		verify(t, r)
+	}
+}
+
+func TestReallocatorRefresh(t *testing.T) {
+	inst := lineInstance(t)
+	r, err := New(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats().FullSolves
+	if err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats().FullSolves != before+1 {
+		t.Fatal("Refresh did not run a full solve")
+	}
+	verify(t, r)
+}
+
+func TestReallocatorInvalidInputs(t *testing.T) {
+	inst := lineInstance(t)
+	r, err := New(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddCustomer(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := r.AddCustomer(int32(inst.G.N())); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	bad := &data.Instance{G: inst.G, Customers: []int32{99}, K: 1}
+	if _, err := New(bad, Options{}); err == nil {
+		t.Fatal("invalid instance accepted")
+	}
+	infeasible := &data.Instance{G: inst.G, Customers: []int32{0}, K: 0}
+	if _, err := New(infeasible, Options{}); !errors.Is(err, data.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}

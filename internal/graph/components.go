@@ -1,0 +1,63 @@
+package graph
+
+// Components labels each node with a connected-component id in [0, count)
+// and returns the labels and the component count. For directed graphs it
+// computes weakly connected components by also following arcs backward;
+// MCFS feasibility (Algorithm 5) is defined per connected component.
+func (g *Graph) Components() (comp []int32, count int) {
+	n := g.N()
+	comp = make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var rev [][]int32
+	if g.directed {
+		rev = make([][]int32, n)
+		for v := int32(0); v < int32(n); v++ {
+			g.Neighbors(v, func(u int32, _ int64) bool {
+				rev[u] = append(rev[u], v)
+				return true
+			})
+		}
+	}
+	var stack []int32
+	id := int32(0)
+	for start := int32(0); start < int32(n); start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = id
+		stack = append(stack[:0], start)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.Neighbors(v, func(u int32, _ int64) bool {
+				if comp[u] == -1 {
+					comp[u] = id
+					stack = append(stack, u)
+				}
+				return true
+			})
+			if g.directed {
+				for _, u := range rev[v] {
+					if comp[u] == -1 {
+						comp[u] = id
+						stack = append(stack, u)
+					}
+				}
+			}
+		}
+		id++
+	}
+	return comp, int(id)
+}
+
+// ComponentSizes returns the node count of each component given labels
+// produced by Components.
+func ComponentSizes(comp []int32, count int) []int {
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	return sizes
+}

@@ -1,0 +1,135 @@
+package graph
+
+import "mcfs/internal/pq"
+
+// Dijkstra computes single-source shortest-path distances from src to all
+// nodes, returning a dense distance slice with Inf for unreachable nodes.
+func (g *Graph) Dijkstra(src int32) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	h := pq.NewDense(g.N())
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		v, d := h.PopMin()
+		if d > dist[v] {
+			continue
+		}
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			u, nd := g.dst[i], d+g.w[i]
+			if nd < dist[u] {
+				dist[u] = nd
+				h.DecreaseKey(u, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraWithin computes shortest-path distances from src to all nodes
+// within the given radius (inclusive), returned as a sparse map. A
+// negative radius means unbounded. It is the workhorse of the BRNN
+// baseline, whose search radius shrinks as facilities are placed.
+func (g *Graph) DijkstraWithin(src int32, radius int64) map[int32]int64 {
+	dist := map[int32]int64{src: 0}
+	h := pq.NewSparse()
+	h.Push(src, 0)
+	for h.Len() > 0 {
+		v, d := h.PopMin()
+		if d > dist[v] {
+			continue
+		}
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			u, nd := g.dst[i], d+g.w[i]
+			if radius >= 0 && nd > radius {
+				continue
+			}
+			if old, ok := dist[u]; !ok || nd < old {
+				dist[u] = nd
+				h.DecreaseKey(u, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// DijkstraToTargets computes shortest-path distances from src to each
+// target node, stopping as soon as all targets are settled. The result
+// maps target node to distance (Inf if unreachable).
+func (g *Graph) DijkstraToTargets(src int32, targets []int32) map[int32]int64 {
+	want := make(map[int32]bool, len(targets))
+	for _, t := range targets {
+		want[t] = true
+	}
+	out := make(map[int32]int64, len(targets))
+	remaining := len(want)
+	dist := map[int32]int64{src: 0}
+	h := pq.NewSparse()
+	h.Push(src, 0)
+	for h.Len() > 0 && remaining > 0 {
+		v, d := h.PopMin()
+		if d > dist[v] {
+			continue
+		}
+		if want[v] {
+			if _, seen := out[v]; !seen {
+				out[v] = d
+				remaining--
+			}
+		}
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			u, nd := g.dst[i], d+g.w[i]
+			if old, ok := dist[u]; !ok || nd < old {
+				dist[u] = nd
+				h.DecreaseKey(u, nd)
+			}
+		}
+	}
+	for _, t := range targets {
+		if _, ok := out[t]; !ok {
+			out[t] = Inf
+		}
+	}
+	return out
+}
+
+// MultiSourceDijkstra computes, for every node, the distance to its
+// nearest source and that source's index in sources. Nodes unreachable
+// from all sources get distance Inf and owner -1. It implements network
+// Voronoi partitioning (ties go to the source settled first, i.e., the
+// lowest-distance one discovered earliest).
+func (g *Graph) MultiSourceDijkstra(sources []int32) (dist []int64, owner []int32) {
+	n := g.N()
+	dist = make([]int64, n)
+	owner = make([]int32, n)
+	for i := range dist {
+		dist[i] = Inf
+		owner[i] = -1
+	}
+	h := pq.NewDense(n)
+	for idx, s := range sources {
+		if dist[s] == 0 {
+			continue // duplicate source node; first one wins
+		}
+		dist[s] = 0
+		owner[s] = int32(idx)
+		h.Push(s, 0)
+	}
+	for h.Len() > 0 {
+		v, d := h.PopMin()
+		if d > dist[v] {
+			continue
+		}
+		for i := g.off[v]; i < g.off[v+1]; i++ {
+			u, nd := g.dst[i], d+g.w[i]
+			if nd < dist[u] {
+				dist[u] = nd
+				owner[u] = owner[v]
+				h.DecreaseKey(u, nd)
+			}
+		}
+	}
+	return dist, owner
+}

@@ -1,0 +1,100 @@
+package graph
+
+import "mcfs/internal/pq"
+
+// NNSearcher enumerates candidate nodes in nondecreasing shortest-path
+// distance from a fixed source, resuming a persistent Dijkstra instance
+// between calls. This is the "one Dijkstra execution per customer,
+// yielding distances to candidate facilities in non-decreasing order"
+// of the paper (§IV-D); the heap persists across FindPair calls (§VI).
+//
+// The searcher always pre-fetches one candidate, so Peek returns the
+// exact weight of the next candidate bipartite edge — the nnDist of
+// Algorithm 2, line 10 — without consuming it.
+type NNSearcher struct {
+	g      *Graph
+	src    int32
+	isCand []bool // shared, indexed by node id
+	dist   map[int32]int64
+	heap   *pq.SparseHeap
+
+	peekNode int32
+	peekDist int64
+	hasPeek  bool
+
+	settledCount int // diagnostic: nodes settled so far
+}
+
+// NewNNSearcher returns a searcher from src over candidates marked true
+// in isCand. The isCand slice is shared (not copied); it must not change
+// while the searcher is in use.
+func NewNNSearcher(g *Graph, src int32, isCand []bool) *NNSearcher {
+	s := &NNSearcher{
+		g:      g,
+		src:    src,
+		isCand: isCand,
+		dist:   map[int32]int64{src: 0},
+		heap:   pq.NewSparse(),
+	}
+	s.heap.Push(src, 0)
+	s.advance()
+	return s
+}
+
+// Source returns the searcher's source node.
+func (s *NNSearcher) Source() int32 { return s.src }
+
+// Peek returns the next candidate node and its distance without
+// consuming it; ok is false once the search space is exhausted.
+func (s *NNSearcher) Peek() (node int32, dist int64, ok bool) {
+	return s.peekNode, s.peekDist, s.hasPeek
+}
+
+// PeekDist returns the distance to the next candidate, or Inf when
+// exhausted. It is the nnDist term of the Theorem-1 pruning threshold.
+func (s *NNSearcher) PeekDist() int64 {
+	if !s.hasPeek {
+		return Inf
+	}
+	return s.peekDist
+}
+
+// Next consumes and returns the next candidate in nondecreasing distance
+// order; ok is false once exhausted.
+func (s *NNSearcher) Next() (node int32, dist int64, ok bool) {
+	if !s.hasPeek {
+		return 0, Inf, false
+	}
+	node, dist = s.peekNode, s.peekDist
+	s.advance()
+	return node, dist, true
+}
+
+// Settled returns the number of nodes settled by the underlying Dijkstra
+// so far (a measure of explored network region).
+func (s *NNSearcher) Settled() int { return s.settledCount }
+
+// advance resumes Dijkstra until the next unreturned candidate is
+// settled, storing it as the new peek.
+func (s *NNSearcher) advance() {
+	s.hasPeek = false
+	for s.heap.Len() > 0 {
+		v, d := s.heap.PopMin()
+		if d > s.dist[v] {
+			continue // stale entry
+		}
+		s.settledCount++
+		s.g.Neighbors(v, func(u int32, w int64) bool {
+			nd := d + w
+			if old, ok := s.dist[u]; !ok || nd < old {
+				s.dist[u] = nd
+				s.heap.DecreaseKey(u, nd)
+			}
+			return true
+		})
+		if s.isCand[v] {
+			s.peekNode, s.peekDist, s.hasPeek = v, d, true
+			return
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Package hilbert implements the Hilbert space-filling curve used by the
+// Hilbert bucketing baseline (paper §VII-A, citing Kamel & Faloutsos'
+// Hilbert R-tree). Encode maps a 2-D cell to its curve position; Decode
+// inverts it. Both operate on an order-o curve over a 2^o × 2^o grid.
+package hilbert
+
+// Encode returns the distance along the order-o Hilbert curve of cell
+// (x, y), where 0 <= x, y < 2^o. The classic bit-twiddling formulation
+// rotates quadrant frames as it descends.
+func Encode(order uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rotate(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// Decode returns the cell (x, y) at distance d along the order-o curve.
+func Decode(order uint, d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < 1<<order; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rotate(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rotate flips/rotates a quadrant frame.
+func rotate(s, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// EncodeFloat quantizes planar coordinates within [minX,maxX]×[minY,maxY]
+// onto an order-o grid and returns the Hilbert position. Degenerate
+// extents (max == min) map to cell 0 on that axis.
+func EncodeFloat(order uint, x, y, minX, maxX, minY, maxY float64) uint64 {
+	side := float64(uint64(1) << order)
+	qx := quantize(x, minX, maxX, side)
+	qy := quantize(y, minY, maxY, side)
+	return Encode(order, qx, qy)
+}
+
+func quantize(v, lo, hi, side float64) uint32 {
+	if hi <= lo {
+		return 0
+	}
+	f := (v - lo) / (hi - lo) * side
+	if f < 0 {
+		f = 0
+	}
+	if f >= side {
+		f = side - 1
+	}
+	return uint32(f)
+}

@@ -1,0 +1,138 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeOrder1(t *testing.T) {
+	// Order-1 curve visits (0,0),(0,1),(1,1),(1,0) in that order.
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0, {0, 1}: 1, {1, 1}: 2, {1, 0}: 3,
+	}
+	for cell, d := range want {
+		if got := Encode(1, cell[0], cell[1]); got != d {
+			t.Errorf("Encode(1,%d,%d) = %d, want %d", cell[0], cell[1], got, d)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, order := range []uint{1, 2, 3, 5, 8} {
+		side := uint32(1) << order
+		step := uint32(1)
+		if side > 64 {
+			step = side / 64
+		}
+		for x := uint32(0); x < side; x += step {
+			for y := uint32(0); y < side; y += step {
+				d := Encode(order, x, y)
+				gx, gy := Decode(order, d)
+				if gx != x || gy != y {
+					t.Fatalf("order %d: Decode(Encode(%d,%d)) = (%d,%d)", order, x, y, gx, gy)
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeBijectiveOrder4(t *testing.T) {
+	const order = 4
+	seen := make(map[uint64]bool)
+	for x := uint32(0); x < 16; x++ {
+		for y := uint32(0); y < 16; y++ {
+			d := Encode(order, x, y)
+			if d >= 256 {
+				t.Fatalf("Encode out of range: %d", d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate curve position %d", d)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) != 256 {
+		t.Fatalf("covered %d positions, want 256", len(seen))
+	}
+}
+
+func TestCurveContinuity(t *testing.T) {
+	// Successive curve positions are adjacent cells (Manhattan distance 1).
+	const order = 6
+	px, py := Decode(order, 0)
+	for d := uint64(1); d < 1<<(2*order); d++ {
+		x, y := Decode(order, d)
+		dx, dy := int64(x)-int64(px), int64(y)-int64(py)
+		if dx < 0 {
+			dx = -dx
+		}
+		if dy < 0 {
+			dy = -dy
+		}
+		if dx+dy != 1 {
+			t.Fatalf("positions %d and %d are not adjacent: (%d,%d)->(%d,%d)", d-1, d, px, py, x, y)
+		}
+		px, py = x, y
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	const order = 10
+	f := func(xr, yr uint32) bool {
+		x, y := xr%(1<<order), yr%(1<<order)
+		gx, gy := Decode(order, Encode(order, x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeFloat(t *testing.T) {
+	// Corners of the unit square map to distinct positions; clamping works.
+	const order = 4
+	d00 := EncodeFloat(order, 0, 0, 0, 1, 0, 1)
+	d11 := EncodeFloat(order, 1, 1, 0, 1, 0, 1)
+	if d00 == d11 {
+		t.Fatal("corners collide")
+	}
+	// Out-of-range values clamp rather than wrap.
+	dNeg := EncodeFloat(order, -5, -5, 0, 1, 0, 1)
+	if dNeg != d00 {
+		t.Fatalf("clamped encode = %d, want %d", dNeg, d00)
+	}
+	dBig := EncodeFloat(order, 9, 9, 0, 1, 0, 1)
+	dMax := EncodeFloat(order, 0.999, 0.999, 0, 1, 0, 1)
+	if dBig != dMax {
+		t.Fatalf("upper clamp: %d vs %d", dBig, dMax)
+	}
+}
+
+func TestEncodeFloatDegenerateExtent(t *testing.T) {
+	if d := EncodeFloat(4, 3, 7, 5, 5, 0, 10); d != Encode(4, 0, quantize(7, 0, 10, 16)) {
+		t.Fatalf("degenerate X extent mishandled: %d", d)
+	}
+}
+
+func TestLocalityRough(t *testing.T) {
+	// Nearby points should mostly have nearby curve positions; check that
+	// the average curve gap of adjacent cells is far below the max gap.
+	const order = 5
+	var sum, count uint64
+	for x := uint32(0); x < 31; x++ {
+		for y := uint32(0); y < 32; y++ {
+			a := Encode(order, x, y)
+			b := Encode(order, x+1, y)
+			gap := a - b
+			if b > a {
+				gap = b - a
+			}
+			sum += gap
+			count++
+		}
+	}
+	avg := float64(sum) / float64(count)
+	if avg > 64 { // 1024 positions total; locality should keep this small
+		t.Fatalf("poor locality: avg adjacent gap %.1f", avg)
+	}
+}

@@ -1,0 +1,266 @@
+// Package pq provides addressable binary min-heaps specialized for the
+// hot paths of Dijkstra's algorithm and the SSPA matching engine, plus a
+// small generic heap for everything else.
+//
+// The specialized heaps key items by int64 priorities and identify items
+// by int32 ids, supporting decrease-key in O(log n). DenseHeap tracks
+// positions in a slice and suits item ids drawn from a small dense range
+// [0, n); SparseHeap tracks positions in a map and suits Dijkstra
+// instances that touch a tiny fraction of a huge graph.
+package pq
+
+// DenseHeap is an addressable binary min-heap over item ids in [0, n).
+// The zero value is not usable; call NewDense.
+type DenseHeap struct {
+	ids  []int32
+	keys []int64
+	pos  []int32 // pos[id] = index in ids, or -1 if absent
+}
+
+// NewDense returns a heap for item ids in [0, n).
+func NewDense(n int) *DenseHeap {
+	pos := make([]int32, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &DenseHeap{pos: pos}
+}
+
+// Len reports the number of items in the heap.
+func (h *DenseHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently in the heap.
+func (h *DenseHeap) Contains(id int32) bool { return h.pos[id] >= 0 }
+
+// Key returns the current key of id; it must be in the heap.
+func (h *DenseHeap) Key(id int32) int64 { return h.keys[h.pos[id]] }
+
+// Push inserts id with the given key, or decreases/increases its key if
+// already present.
+func (h *DenseHeap) Push(id int32, key int64) {
+	if p := h.pos[id]; p >= 0 {
+		old := h.keys[p]
+		h.keys[p] = key
+		if key < old {
+			h.up(int(p))
+		} else if key > old {
+			h.down(int(p))
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// DecreaseKey lowers id's key; it is a no-op if the new key is not lower
+// or id is absent (in which case it inserts).
+func (h *DenseHeap) DecreaseKey(id int32, key int64) {
+	if p := h.pos[id]; p >= 0 {
+		if key >= h.keys[p] {
+			return
+		}
+		h.keys[p] = key
+		h.up(int(p))
+		return
+	}
+	h.Push(id, key)
+}
+
+// PeekMin returns the minimum item and key without removing it.
+// It must not be called on an empty heap.
+func (h *DenseHeap) PeekMin() (int32, int64) { return h.ids[0], h.keys[0] }
+
+// PopMin removes and returns the minimum item and its key.
+// It must not be called on an empty heap.
+func (h *DenseHeap) PopMin() (int32, int64) {
+	id, key := h.ids[0], h.keys[0]
+	h.swap(0, len(h.ids)-1)
+	h.pos[id] = -1
+	h.ids = h.ids[:len(h.ids)-1]
+	h.keys = h.keys[:len(h.keys)-1]
+	if len(h.ids) > 0 {
+		h.down(0)
+	}
+	return id, key
+}
+
+// Remove deletes id from the heap if present.
+func (h *DenseHeap) Remove(id int32) {
+	p := h.pos[id]
+	if p < 0 {
+		return
+	}
+	last := len(h.ids) - 1
+	h.swap(int(p), last)
+	h.pos[id] = -1
+	h.ids = h.ids[:last]
+	h.keys = h.keys[:last]
+	if int(p) < last {
+		h.down(int(p))
+		h.up(int(p))
+	}
+}
+
+// Reset empties the heap, retaining capacity.
+func (h *DenseHeap) Reset() {
+	for _, id := range h.ids {
+		h.pos[id] = -1
+	}
+	h.ids = h.ids[:0]
+	h.keys = h.keys[:0]
+}
+
+func (h *DenseHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *DenseHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *DenseHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.keys[l] < h.keys[small] {
+			small = l
+		}
+		if r < n && h.keys[r] < h.keys[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// SparseHeap is an addressable binary min-heap with map-tracked
+// positions, suitable when item ids are sparse in a huge id space.
+type SparseHeap struct {
+	ids  []int32
+	keys []int64
+	pos  map[int32]int32
+}
+
+// NewSparse returns an empty sparse heap.
+func NewSparse() *SparseHeap {
+	return &SparseHeap{pos: make(map[int32]int32)}
+}
+
+// Len reports the number of items in the heap.
+func (h *SparseHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently in the heap.
+func (h *SparseHeap) Contains(id int32) bool { _, ok := h.pos[id]; return ok }
+
+// Key returns the current key of id; it must be in the heap.
+func (h *SparseHeap) Key(id int32) int64 { return h.keys[h.pos[id]] }
+
+// Push inserts id with the given key, updating the key if present.
+func (h *SparseHeap) Push(id int32, key int64) {
+	if p, ok := h.pos[id]; ok {
+		old := h.keys[p]
+		h.keys[p] = key
+		if key < old {
+			h.up(int(p))
+		} else if key > old {
+			h.down(int(p))
+		}
+		return
+	}
+	h.ids = append(h.ids, id)
+	h.keys = append(h.keys, key)
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// DecreaseKey lowers id's key, inserting it if absent; higher keys are
+// ignored.
+func (h *SparseHeap) DecreaseKey(id int32, key int64) {
+	if p, ok := h.pos[id]; ok {
+		if key >= h.keys[p] {
+			return
+		}
+		h.keys[p] = key
+		h.up(int(p))
+		return
+	}
+	h.Push(id, key)
+}
+
+// PeekMin returns the minimum item and key without removing it.
+// It must not be called on an empty heap.
+func (h *SparseHeap) PeekMin() (int32, int64) { return h.ids[0], h.keys[0] }
+
+// PopMin removes and returns the minimum item and its key.
+// It must not be called on an empty heap.
+func (h *SparseHeap) PopMin() (int32, int64) {
+	id, key := h.ids[0], h.keys[0]
+	h.swap(0, len(h.ids)-1)
+	delete(h.pos, id)
+	h.ids = h.ids[:len(h.ids)-1]
+	h.keys = h.keys[:len(h.keys)-1]
+	if len(h.ids) > 0 {
+		h.down(0)
+	}
+	return id, key
+}
+
+// Reset empties the heap, retaining slice capacity.
+func (h *SparseHeap) Reset() {
+	h.ids = h.ids[:0]
+	h.keys = h.keys[:0]
+	clear(h.pos)
+}
+
+func (h *SparseHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *SparseHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= h.keys[i] {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *SparseHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.keys[l] < h.keys[small] {
+			small = l
+		}
+		if r < n && h.keys[r] < h.keys[small] {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

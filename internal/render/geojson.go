@@ -1,0 +1,102 @@
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mcfs/internal/data"
+)
+
+// geoFeature is a minimal GeoJSON feature.
+type geoFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoGeometry    `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoGeometry struct {
+	Type        string `json:"type"`
+	Coordinates any    `json:"coordinates"`
+}
+
+type geoCollection struct {
+	Type     string       `json:"type"`
+	Features []geoFeature `json:"features"`
+}
+
+// GeoJSON exports an instance and optional solution as a GeoJSON
+// FeatureCollection: one Point per customer (kind=customer, with its
+// assigned facility when solved) and per candidate facility
+// (kind=facility, capacity, selected, load), plus one LineString per
+// assignment. Node coordinates are emitted verbatim — callers working in
+// a projected CRS should note GeoJSON formally expects lon/lat.
+func GeoJSON(w io.Writer, inst *data.Instance, sol *data.Solution) error {
+	g := inst.G
+	if !g.HasCoords() {
+		return fmt.Errorf("render: network has no coordinates")
+	}
+	point := func(node int32) geoGeometry {
+		x, y := g.Coord(node)
+		return geoGeometry{Type: "Point", Coordinates: []float64{x, y}}
+	}
+	coll := geoCollection{Type: "FeatureCollection"}
+
+	selected := map[int]bool{}
+	load := map[int]int{}
+	if sol != nil {
+		for _, j := range sol.Selected {
+			selected[j] = true
+		}
+		for _, j := range sol.Assignment {
+			load[j]++
+		}
+	}
+	for j, f := range inst.Facilities {
+		props := map[string]any{
+			"kind":     "facility",
+			"index":    j,
+			"node":     f.Node,
+			"capacity": f.Capacity,
+		}
+		if sol != nil {
+			props["selected"] = selected[j]
+			props["load"] = load[j]
+		}
+		coll.Features = append(coll.Features, geoFeature{
+			Type: "Feature", Geometry: point(f.Node), Properties: props,
+		})
+	}
+	for i, s := range inst.Customers {
+		props := map[string]any{
+			"kind":  "customer",
+			"index": i,
+			"node":  s,
+		}
+		if sol != nil {
+			props["facility"] = sol.Assignment[i]
+		}
+		coll.Features = append(coll.Features, geoFeature{
+			Type: "Feature", Geometry: point(s), Properties: props,
+		})
+		if sol != nil {
+			x1, y1 := g.Coord(s)
+			x2, y2 := g.Coord(inst.Facilities[sol.Assignment[i]].Node)
+			coll.Features = append(coll.Features, geoFeature{
+				Type: "Feature",
+				Geometry: geoGeometry{
+					Type:        "LineString",
+					Coordinates: [][]float64{{x1, y1}, {x2, y2}},
+				},
+				Properties: map[string]any{
+					"kind":     "assignment",
+					"customer": i,
+					"facility": sol.Assignment[i],
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(coll)
+}

@@ -1,0 +1,82 @@
+package render
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestGeoJSONStructure(t *testing.T) {
+	inst, sol := coordInstance(t)
+	var buf bytes.Buffer
+	if err := GeoJSON(&buf, inst, sol); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type string `json:"type"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Type != "FeatureCollection" {
+		t.Fatalf("type = %q", doc.Type)
+	}
+	counts := map[string]int{}
+	for _, f := range doc.Features {
+		kind, _ := f.Properties["kind"].(string)
+		counts[kind]++
+		if kind == "assignment" && f.Geometry.Type != "LineString" {
+			t.Fatalf("assignment geometry = %q", f.Geometry.Type)
+		}
+		if kind != "assignment" && f.Geometry.Type != "Point" {
+			t.Fatalf("%s geometry = %q", kind, f.Geometry.Type)
+		}
+	}
+	// 2 facilities + 2 customers + 2 assignment lines.
+	if counts["facility"] != 2 || counts["customer"] != 2 || counts["assignment"] != 2 {
+		t.Fatalf("feature counts = %v", counts)
+	}
+	// Facility properties carry selection and load.
+	for _, f := range doc.Features {
+		if f.Properties["kind"] == "facility" {
+			if _, ok := f.Properties["selected"]; !ok {
+				t.Fatal("facility missing 'selected'")
+			}
+			if _, ok := f.Properties["load"]; !ok {
+				t.Fatal("facility missing 'load'")
+			}
+		}
+	}
+}
+
+func TestGeoJSONWithoutSolution(t *testing.T) {
+	inst, _ := coordInstance(t)
+	var buf bytes.Buffer
+	if err := GeoJSON(&buf, inst, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("assignment")) {
+		t.Fatal("assignment features emitted without a solution")
+	}
+}
+
+func TestGeoJSONNoCoords(t *testing.T) {
+	inst, _ := coordInstance(t)
+	// Rebuild the instance graph without coordinates.
+	b := noCoordGraph(t)
+	inst.G = b
+	if err := GeoJSON(&bytes.Buffer{}, inst, nil); err == nil {
+		t.Fatal("coordinate-less network accepted")
+	}
+}

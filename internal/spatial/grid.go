@@ -1,0 +1,156 @@
+// Package spatial provides a uniform-grid index for planar
+// nearest-neighbor queries — the geometric substrate behind the Hilbert
+// baseline's centroid→facility snapping and available for ad-hoc
+// geometry work. Points can be removed, supporting consume-style
+// snapping (each facility claimed once).
+package spatial
+
+import "math"
+
+// GridIndex answers nearest-point queries over a fixed point set by
+// expanding-ring search on a uniform grid. Build with NewGridIndex.
+type GridIndex struct {
+	xs, ys  []float64
+	ids     []int32
+	alive   []bool
+	n       int // live points
+	minX    float64
+	minY    float64
+	cell    float64
+	side    int
+	buckets [][]int // indexes into xs/ys per grid cell
+}
+
+// NewGridIndex indexes the given points (parallel slices; ids are
+// caller-defined labels returned by queries). The grid resolution aims
+// at O(1) points per cell.
+func NewGridIndex(xs, ys []float64, ids []int32) *GridIndex {
+	n := len(xs)
+	g := &GridIndex{
+		xs: xs, ys: ys, ids: ids,
+		alive: make([]bool, n),
+		n:     n,
+	}
+	for i := range g.alive {
+		g.alive[i] = true
+	}
+	if n == 0 {
+		g.cell = 1
+		g.side = 1
+		g.buckets = make([][]int, 1)
+		return g
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := 1; i < n; i++ {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	span := math.Max(maxX-minX, maxY-minY)
+	if span <= 0 {
+		span = 1
+	}
+	side := int(math.Sqrt(float64(n)))
+	if side < 1 {
+		side = 1
+	}
+	g.minX, g.minY = minX, minY
+	g.side = side
+	g.cell = span / float64(side)
+	g.buckets = make([][]int, side*side)
+	for i := 0; i < n; i++ {
+		c := g.cellOf(xs[i], ys[i])
+		g.buckets[c] = append(g.buckets[c], i)
+	}
+	return g
+}
+
+func (g *GridIndex) cellOf(x, y float64) int {
+	cx := int((x - g.minX) / g.cell)
+	cy := int((y - g.minY) / g.cell)
+	cx = clamp(cx, 0, g.side-1)
+	cy = clamp(cy, 0, g.side-1)
+	return cy*g.side + cx
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Len reports the number of live points.
+func (g *GridIndex) Len() int { return g.n }
+
+// Nearest returns the id and internal slot of the live point nearest to
+// (x, y); ok is false when the index is empty.
+func (g *GridIndex) Nearest(x, y float64) (id int32, slot int, ok bool) {
+	if g.n == 0 {
+		return 0, 0, false
+	}
+	cx := clamp(int((x-g.minX)/g.cell), 0, g.side-1)
+	cy := clamp(int((y-g.minY)/g.cell), 0, g.side-1)
+	bestD := math.Inf(1)
+	best := -1
+	for ring := 0; ring < 2*g.side; ring++ {
+		// Once a candidate is found, one extra ring guarantees
+		// correctness (a point in an adjacent ring can be closer than one
+		// in the current ring).
+		if best >= 0 && float64(ring-1)*g.cell > math.Sqrt(bestD) {
+			break
+		}
+		found := false
+		for dy := -ring; dy <= ring; dy++ {
+			for dx := -ring; dx <= ring; dx++ {
+				if abs(dx) != ring && abs(dy) != ring {
+					continue // interior already visited
+				}
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx >= g.side || ny >= g.side {
+					continue
+				}
+				found = true
+				for _, i := range g.buckets[ny*g.side+nx] {
+					if !g.alive[i] {
+						continue
+					}
+					ddx, ddy := g.xs[i]-x, g.ys[i]-y
+					d := ddx*ddx + ddy*ddy
+					if d < bestD {
+						bestD = d
+						best = i
+					}
+				}
+			}
+		}
+		if !found && best >= 0 {
+			break
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return g.ids[best], best, true
+}
+
+// Remove deletes the point at the given slot (as returned by Nearest);
+// repeated removals are no-ops.
+func (g *GridIndex) Remove(slot int) {
+	if slot >= 0 && slot < len(g.alive) && g.alive[slot] {
+		g.alive[slot] = false
+		g.n--
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

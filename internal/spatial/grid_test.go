@@ -1,0 +1,132 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteNearest is the reference.
+func bruteNearest(xs, ys []float64, alive []bool, x, y float64) int {
+	best, bestD := -1, math.Inf(1)
+	for i := range xs {
+		if alive != nil && !alive[i] {
+			continue
+		}
+		dx, dy := xs[i]-x, ys[i]-y
+		if d := dx*dx + dy*dy; d < bestD {
+			bestD, best = d, i
+		}
+	}
+	return best
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		ids := make([]int32, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+			ys[i] = rng.Float64() * 100
+			ids[i] = int32(i)
+		}
+		g := NewGridIndex(xs, ys, ids)
+		for q := 0; q < 50; q++ {
+			x := rng.Float64()*140 - 20 // include out-of-extent queries
+			y := rng.Float64()*140 - 20
+			id, _, ok := g.Nearest(x, y)
+			if !ok {
+				t.Fatal("nonempty index returned no point")
+			}
+			want := bruteNearest(xs, ys, nil, x, y)
+			// Ties allowed: accept equal distance.
+			dxa, dya := xs[id]-x, ys[id]-y
+			dxb, dyb := xs[want]-x, ys[want]-y
+			if dxa*dxa+dya*dya > dxb*dxb+dyb*dyb+1e-9 {
+				t.Fatalf("trial %d: nearest=%d (d=%v), want %d (d=%v)",
+					trial, id, dxa*dxa+dya*dya, want, dxb*dxb+dyb*dyb)
+			}
+		}
+	}
+}
+
+func TestGridRemoveAndConsume(t *testing.T) {
+	xs := []float64{0, 10, 20}
+	ys := []float64{0, 0, 0}
+	g := NewGridIndex(xs, ys, []int32{100, 101, 102})
+	id, slot, ok := g.Nearest(1, 0)
+	if !ok || id != 100 {
+		t.Fatalf("nearest = %d", id)
+	}
+	g.Remove(slot)
+	g.Remove(slot) // idempotent
+	if g.Len() != 2 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	id, slot, ok = g.Nearest(1, 0)
+	if !ok || id != 101 {
+		t.Fatalf("after removal nearest = %d, want 101", id)
+	}
+	g.Remove(slot)
+	id, slot, ok = g.Nearest(1, 0)
+	if !ok || id != 102 {
+		t.Fatalf("nearest = %d, want 102", id)
+	}
+	g.Remove(slot)
+	if _, _, ok := g.Nearest(1, 0); ok {
+		t.Fatal("empty index returned a point")
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	// Empty.
+	g := NewGridIndex(nil, nil, nil)
+	if _, _, ok := g.Nearest(0, 0); ok {
+		t.Fatal("empty index returned a point")
+	}
+	// All points identical.
+	xs := []float64{5, 5, 5}
+	ys := []float64{5, 5, 5}
+	g = NewGridIndex(xs, ys, []int32{1, 2, 3})
+	if _, _, ok := g.Nearest(100, -100); !ok {
+		t.Fatal("identical-point index failed")
+	}
+}
+
+func TestGridConsumeMatchesBruteForce(t *testing.T) {
+	// Repeated nearest+remove must match brute-force consume ordering.
+	rng := rand.New(rand.NewSource(4))
+	n := 120
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	ids := make([]int32, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 50
+		ys[i] = rng.Float64() * 50
+		ids[i] = int32(i)
+	}
+	g := NewGridIndex(xs, ys, ids)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	for q := 0; q < n; q++ {
+		x := rng.Float64() * 50
+		y := rng.Float64() * 50
+		id, slot, ok := g.Nearest(x, y)
+		if !ok {
+			t.Fatal("index exhausted early")
+		}
+		want := bruteNearest(xs, ys, alive, x, y)
+		dxa, dya := xs[id]-x, ys[id]-y
+		dxb, dyb := xs[want]-x, ys[want]-y
+		if dxa*dxa+dya*dya > dxb*dxb+dyb*dyb+1e-9 {
+			t.Fatalf("query %d: got %d, want %d", q, id, want)
+		}
+		g.Remove(slot)
+		alive[id] = false
+	}
+}

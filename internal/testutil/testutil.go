@@ -1,0 +1,137 @@
+// Package testutil provides shared randomized-instance constructors for
+// the test suites of the algorithm packages. Production code must not
+// import it.
+package testutil
+
+import (
+	"math/rand"
+
+	"mcfs/internal/data"
+	"mcfs/internal/graph"
+)
+
+// Params bounds the shape of a random instance.
+type Params struct {
+	MinNodes, MaxNodes int
+	MaxCustomers       int
+	MaxFacilities      int
+	MaxCapacity        int
+	MaxWeight          int64
+	Components         int // number of disjoint connected blocks (default 1)
+}
+
+// RandomInstance builds a random connected (per component) instance that
+// is feasible with probability close to one (capacities are topped up to
+// cover customers in every component and K is set accordingly).
+func RandomInstance(rng *rand.Rand, p Params) *data.Instance {
+	if p.Components <= 0 {
+		p.Components = 1
+	}
+	if p.MinNodes < 2*p.Components {
+		p.MinNodes = 2 * p.Components
+	}
+	n := p.MinNodes
+	if p.MaxNodes > p.MinNodes {
+		n += rng.Intn(p.MaxNodes - p.MinNodes)
+	}
+	b := graph.NewBuilder(n, false)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+		ys[i] = rng.Float64() * 1000
+	}
+	b.SetCoords(xs, ys)
+	// Split nodes into contiguous blocks, one spanning tree each.
+	blockOf := make([]int, n)
+	start := 0
+	for c := 0; c < p.Components; c++ {
+		end := start + n/p.Components
+		if c == p.Components-1 {
+			end = n
+		}
+		for i := start + 1; i < end; i++ {
+			j := start + rng.Intn(i-start)
+			b.AddEdge(int32(j), int32(i), 1+rng.Int63n(p.MaxWeight))
+		}
+		for i := start; i < end; i++ {
+			blockOf[i] = c
+		}
+		// Extra intra-block edges.
+		for e := 0; e < (end-start)/2; e++ {
+			u := start + rng.Intn(end-start)
+			v := start + rng.Intn(end-start)
+			if u != v {
+				b.AddEdge(int32(u), int32(v), 1+rng.Int63n(p.MaxWeight))
+			}
+		}
+		start = end
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	m := 1 + rng.Intn(p.MaxCustomers)
+	customers := make([]int32, m)
+	for i := range customers {
+		customers[i] = int32(rng.Intn(n))
+	}
+	lWant := 1 + rng.Intn(p.MaxFacilities)
+	perm := rng.Perm(n)
+	var facilities []data.Facility
+	for _, v := range perm {
+		if len(facilities) == lWant {
+			break
+		}
+		facilities = append(facilities, data.Facility{Node: int32(v), Capacity: 1 + rng.Intn(p.MaxCapacity)})
+	}
+	inst := &data.Instance{G: g, Customers: customers, Facilities: facilities, K: 0}
+
+	// Top up: ensure every component containing customers has enough
+	// candidate capacity, adding facilities at fresh nodes if needed.
+	comp, count := g.Components()
+	custPerComp := make([]int, count)
+	for _, s := range customers {
+		custPerComp[comp[s]]++
+	}
+	capPerComp := make([]int, count)
+	used := make(map[int32]bool)
+	for _, f := range inst.Facilities {
+		capPerComp[comp[f.Node]] += f.Capacity
+		used[f.Node] = true
+	}
+	for v := int32(0); v < int32(n); v++ {
+		c := comp[v]
+		if capPerComp[c] >= custPerComp[c] || used[v] {
+			continue
+		}
+		add := custPerComp[c] - capPerComp[c]
+		inst.Facilities = append(inst.Facilities, data.Facility{Node: v, Capacity: add})
+		capPerComp[c] += add
+		used[v] = true
+	}
+	// Budget: the minimum per-component need plus random slack.
+	need := minBudget(inst)
+	inst.K = need + rng.Intn(3)
+	if inst.K > inst.L() {
+		inst.K = inst.L()
+	}
+	return inst
+}
+
+// minBudget returns Σ k_g, the smallest feasible K (assuming per-
+// component capacity suffices).
+func minBudget(inst *data.Instance) int {
+	inst.K = inst.L()
+	ok, kg := inst.Feasible()
+	if !ok {
+		// Should not happen after top-up; fall back to everything.
+		return inst.L()
+	}
+	total := 0
+	for _, v := range kg {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,438 @@
+// Package mcfs solves the Multicapacity Facility Selection problem — the
+// hard, nonuniform capacitated k-median problem over a road network — as
+// introduced by Logins, Karras and Jensen, "Multicapacity Facility
+// Selection in Networks" (ICDE 2019).
+//
+// Given a weighted network, a set of customer locations, a catalogue of
+// candidate facilities each with its own capacity, and a budget k, the
+// task is to open at most k facilities and assign every customer to
+// exactly one of them, within capacities, minimizing the total
+// shortest-path distance between customers and their facilities.
+//
+// The primary solver is the paper's Wide Matching Algorithm (Solve):
+// a scalable heuristic that interleaves an optimal incremental bipartite
+// matching with a lazy-greedy set-cover selection. The package also
+// provides the paper's baselines (SolveHilbert, SolveBRNN, SolveNaive),
+// the Uniform-First strategy for nonuniform capacities
+// (SolveUniformFirst), and exact solvers (SolveExact, SolveExhaustive)
+// standing in for the paper's use of the Gurobi optimizer.
+//
+// Workload generators reproduce the paper's evaluation data: synthetic
+// uniform/clustered networks (GenerateSynthetic), city-like road
+// networks calibrated to the paper's Table III (GenerateCity), and the
+// coworking/bike-sharing scenarios of §VII-F (NewCoworkingScenario,
+// NewBikesScenario).
+//
+// A minimal end-to-end use:
+//
+//	g, _ := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 1000, Alpha: 2, Seed: 1})
+//	rng := rand.New(rand.NewSource(2))
+//	inst := &mcfs.Instance{
+//		G:          g,
+//		Customers:  mcfs.SampleCustomers(g, 100, rng),
+//		Facilities: mcfs.SampleFacilities(g, 200, rng, mcfs.UniformCapacity(20)),
+//		K:          10,
+//	}
+//	sol, err := mcfs.Solve(inst)
+//	// sol.Selected, sol.Assignment, sol.Objective
+package mcfs
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"mcfs/internal/baseline"
+	"mcfs/internal/core"
+	"mcfs/internal/data"
+	"mcfs/internal/dynamic"
+	"mcfs/internal/gen"
+	"mcfs/internal/graph"
+	"mcfs/internal/localsearch"
+	"mcfs/internal/realsim"
+	"mcfs/internal/render"
+	"mcfs/internal/solver"
+)
+
+// Core model types. These are aliases of the internal implementations so
+// that all packages in the module interoperate without conversion.
+type (
+	// Graph is an immutable weighted network in CSR form; build one with
+	// NewGraphBuilder or a generator.
+	Graph = graph.Graph
+	// GraphBuilder accumulates edges and coordinates, then Builds a Graph.
+	GraphBuilder = graph.Builder
+	// Edge is a builder input edge.
+	Edge = graph.Edge
+	// Facility is a candidate facility location with a capacity.
+	Facility = data.Facility
+	// Instance is a full MCFS problem instance.
+	Instance = data.Instance
+	// Solution carries the selected facilities, the per-customer
+	// assignment (facility indexes), and the total-distance objective.
+	Solution = data.Solution
+	// IterationStats describes one WMA iteration (progress reporting).
+	IterationStats = core.IterationStats
+)
+
+// Inf is the distance reported for unreachable node pairs.
+const Inf = graph.Inf
+
+// ErrInfeasible is returned by every solver when no feasible solution
+// exists (insufficient capacity under budget k in some network
+// component).
+var ErrInfeasible = data.ErrInfeasible
+
+// NewGraphBuilder returns a builder for a graph with n nodes; if
+// directed is false every edge is traversable both ways.
+func NewGraphBuilder(n int, directed bool) *GraphBuilder {
+	return graph.NewBuilder(n, directed)
+}
+
+// Option tunes the solvers.
+type Option func(*options)
+
+type options struct {
+	core core.Options
+	// exact-solver knobs
+	timeBudget time.Duration
+	nodeLimit  int
+	seed       int64
+}
+
+// WithProgress installs a per-iteration callback on WMA runs (the paper's
+// Fig. 12b statistics: covered customers, matching time, set-cover time).
+func WithProgress(fn func(IterationStats)) Option {
+	return func(o *options) { o.core.Progress = fn }
+}
+
+// WithRaiseAllDemands switches WMA to raising every customer's demand
+// each iteration instead of only uncovered ones (an ablation of the
+// paper's §IV-F policy).
+func WithRaiseAllDemands() Option {
+	return func(o *options) { o.core.Demand = core.DemandAll }
+}
+
+// WithArbitraryTieBreak disables the least-recently-used diversification
+// in the set-cover heuristic (ablation).
+func WithArbitraryTieBreak() Option {
+	return func(o *options) { o.core.TieBreak = core.TieArbitrary }
+}
+
+// WithExhaustiveMatching disables the matcher's early-stop optimization;
+// results are identical, only more of the residual graph is scanned
+// (ablation/diagnostics).
+func WithExhaustiveMatching() Option {
+	return func(o *options) { o.core.Exhaustive = true }
+}
+
+// WithTimeBudget bounds the exact solver's wall-clock time; on expiry
+// SolveExact returns its best incumbent and solver.ErrTimeout.
+func WithTimeBudget(d time.Duration) Option {
+	return func(o *options) { o.timeBudget = d }
+}
+
+// WithNodeLimit bounds the exact solver's search-tree size.
+func WithNodeLimit(n int) Option {
+	return func(o *options) { o.nodeLimit = n }
+}
+
+// WithSeed seeds the randomized Naive baseline.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// Solve runs the Wide Matching Algorithm — the paper's primary
+// contribution — and returns a feasible solution, or ErrInfeasible.
+func Solve(inst *Instance, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
+	return core.Solve(inst, o.core)
+}
+
+// SolveUniformFirst runs WMA with the Uniform-First strategy (§VII-F):
+// facility locations are first chosen as if all capacities equaled the
+// average, then the assignment is rebuilt under the true capacities.
+func SolveUniformFirst(inst *Instance, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
+	return core.SolveUniformFirst(inst, o.core)
+}
+
+// SolveHilbert runs the Hilbert space-filling-curve bucketing baseline.
+// The network must carry coordinates.
+func SolveHilbert(inst *Instance, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
+	return baseline.Hilbert(inst, o.core)
+}
+
+// SolveBRNN runs the iterative bichromatic-reverse-nearest-neighbor
+// (MaxSum) placement baseline.
+func SolveBRNN(inst *Instance, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
+	return baseline.BRNN(inst, o.core)
+}
+
+// SolveNaive runs WMA Naïve: the WMA loop with greedy, no-rewiring
+// assignment. Seed it with WithSeed for reproducibility.
+func SolveNaive(inst *Instance, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
+	return baseline.Naive(inst, o.seed, o.core)
+}
+
+// ExactResult reports an exact solve: the solution, the number of
+// explored branch-and-bound nodes, and whether optimality was proven
+// (false only when a time or node budget cut the search short).
+type ExactResult struct {
+	Solution *Solution
+	Nodes    int
+	Optimal  bool
+}
+
+// ErrTimeout is returned by SolveExact when its time budget expires; the
+// accompanying ExactResult still carries the best incumbent found.
+var ErrTimeout = solver.ErrTimeout
+
+// SolveExact computes the optimal solution by branch and bound — this
+// repository's stand-in for the paper's Gurobi runs. Like the paper's
+// MIP solves it is exact but intractable beyond small instances; bound
+// it with WithTimeBudget/WithNodeLimit to reproduce the "solver fails"
+// regime.
+func SolveExact(inst *Instance, opts ...Option) (*ExactResult, error) {
+	o := buildOptions(opts)
+	res, err := solver.BranchAndBound(inst, solver.Options{
+		TimeBudget: o.timeBudget,
+		NodeLimit:  o.nodeLimit,
+	})
+	if res == nil {
+		return nil, err
+	}
+	return &ExactResult{Solution: res.Solution, Nodes: res.Nodes, Optimal: res.Optimal}, err
+}
+
+// SolveExhaustive enumerates every k-subset of facilities (feasible only
+// for tiny instances; maxSubsets <= 0 means the default 1e6 cap). Used
+// as the ground-truth yardstick in tests and sanity runs.
+func SolveExhaustive(inst *Instance, maxSubsets int64) (*Solution, error) {
+	return solver.Exhaustive(inst, maxSubsets)
+}
+
+// AssignToSelection computes the optimal assignment of all customers to
+// a fixed facility selection (indexes into inst.Facilities) — the
+// building block for custom selection strategies.
+func AssignToSelection(inst *Instance, selected []int, opts ...Option) (*Solution, error) {
+	o := buildOptions(opts)
+	return core.AssignToSelection(inst, selected, o.core)
+}
+
+// --- generators -----------------------------------------------------------
+
+// SyntheticConfig parameterizes GenerateSynthetic (§VII-B).
+type SyntheticConfig = gen.SyntheticConfig
+
+// CityParams parameterizes GenerateCity; CityPreset returns calibrated
+// parameters for the paper's four cities.
+type CityParams = gen.CityParams
+
+// CityStats reports Table III-style statistics of a network.
+type CityStats = gen.CityStats
+
+// CoworkingConfig parameterizes NewCoworkingScenario (§VII-F.1).
+type CoworkingConfig = realsim.CoworkingConfig
+
+// CoworkingScenario is generated coworking instance material.
+type CoworkingScenario = realsim.CoworkingScenario
+
+// DistrictConfig parameterizes DistrictCustomers (§VII-F.1b).
+type DistrictConfig = realsim.DistrictConfig
+
+// BikesConfig parameterizes NewBikesScenario (§VII-F.2).
+type BikesConfig = realsim.BikesConfig
+
+// BikesScenario is generated bike-sharing instance material.
+type BikesScenario = realsim.BikesScenario
+
+// Venue is a coworking candidate facility with occupancy and hours.
+type Venue = realsim.Venue
+
+// GenerateSynthetic builds a uniform or clustered synthetic network on
+// the 10³×10³ square with the α-radius connection rule.
+func GenerateSynthetic(cfg SyntheticConfig) (*Graph, error) { return gen.Synthetic(cfg) }
+
+// CityPreset returns parameters calibrated to one of the paper's Table
+// III cities ("aalborg", "riga", "copenhagen", "lasvegas"), scaled by
+// scale (1.0 = paper size).
+func CityPreset(name string, scale float64, seed int64) (CityParams, error) {
+	return gen.CityPreset(name, scale, seed)
+}
+
+// GenerateCity builds a seeded city-like road network.
+func GenerateCity(p CityParams) (*Graph, error) { return gen.City(p) }
+
+// NetworkStats measures a network (Table III columns).
+func NetworkStats(g *Graph) CityStats { return gen.Stats(g) }
+
+// SampleCustomers draws m customer nodes uniformly (without replacement
+// while possible).
+func SampleCustomers(g *Graph, m int, rng *rand.Rand) []int32 {
+	return gen.SampleCustomers(g, m, rng)
+}
+
+// SampleFacilities draws l distinct candidate facility nodes with
+// capacities from capFn.
+func SampleFacilities(g *Graph, l int, rng *rand.Rand, capFn func(j int) int) []Facility {
+	return gen.SampleFacilities(g, l, rng, capFn)
+}
+
+// AllNodesFacilities makes every node a candidate (the paper's F_p = V)
+// with capacities from capFn.
+func AllNodesFacilities(g *Graph, capFn func(j int) int) []Facility {
+	return gen.AllNodesFacilities(g, capFn)
+}
+
+// UniformCapacity yields the constant capacity c.
+func UniformCapacity(c int) func(int) int { return gen.UniformCapacity(c) }
+
+// RandomCapacity yields uniform capacities in [lo, hi].
+func RandomCapacity(lo, hi int, rng *rand.Rand) func(int) int {
+	return gen.RandomCapacity(lo, hi, rng)
+}
+
+// NewCoworkingScenario generates venues and Voronoi/triangle-distributed
+// customers on g (§VII-F.1).
+func NewCoworkingScenario(g *Graph, cfg CoworkingConfig) (*CoworkingScenario, error) {
+	return realsim.Coworking(g, cfg)
+}
+
+// DistrictCustomers places customers proportionally to random district
+// populations (§VII-F.1b).
+func DistrictCustomers(g *Graph, cfg DistrictConfig) ([]int32, error) {
+	return realsim.DistrictCustomers(g, cfg)
+}
+
+// NewBikesScenario generates docking stations and flow-divergence
+// distributed bikes on g (§VII-F.2).
+func NewBikesScenario(g *Graph, cfg BikesConfig) (*BikesScenario, error) {
+	return realsim.Bikes(g, cfg)
+}
+
+// --- instance serialization -----------------------------------------------
+
+// WriteInstance serializes an instance in the module's text format.
+func WriteInstance(w io.Writer, inst *Instance) error { return data.WriteInstance(w, inst) }
+
+// ReadInstance parses the text format.
+func ReadInstance(r io.Reader) (*Instance, error) { return data.ReadInstance(r) }
+
+// LargestComponent returns the nodes of the largest connected component;
+// sampling workloads from it guarantees mutual reachability.
+func LargestComponent(g *Graph) []int32 { return gen.LargestComponent(g) }
+
+// SampleCustomersFrom draws m customers from a node pool.
+func SampleCustomersFrom(nodes []int32, m int, rng *rand.Rand) []int32 {
+	return gen.SampleCustomersFrom(nodes, m, rng)
+}
+
+// SampleFacilitiesFrom draws l distinct candidate facilities from a node
+// pool with capacities from capFn.
+func SampleFacilitiesFrom(nodes []int32, l int, rng *rand.Rand, capFn func(j int) int) []Facility {
+	return gen.SampleFacilitiesFrom(nodes, l, rng, capFn)
+}
+
+// NodesFacilities makes every node of the pool a candidate facility.
+func NodesFacilities(nodes []int32, capFn func(j int) int) []Facility {
+	return gen.NodesFacilities(nodes, capFn)
+}
+
+// --- dynamic reallocation ---------------------------------------------------
+
+// Reallocator maintains an MCFS solution while the customer population
+// changes (the paper's "dynamic reallocation" motivation): arrivals are
+// assigned incrementally along one optimal augmenting path each,
+// departures are batched into a rebuild, and the facility selection is
+// re-solved when it saturates or the cost drifts.
+type Reallocator = dynamic.Reallocator
+
+// ReallocatorStats counts a Reallocator's work.
+type ReallocatorStats = dynamic.Stats
+
+// NewReallocator performs one full solve of the instance and returns a
+// Reallocator tracking it. driftFactor (>1) bounds the tolerated cost
+// drift before a full re-selection; 0 picks the default 1.5, negative
+// disables drift-triggered re-solves.
+func NewReallocator(inst *Instance, driftFactor float64, opts ...Option) (*Reallocator, error) {
+	o := buildOptions(opts)
+	return dynamic.New(inst, dynamic.Options{Core: o.core, DriftFactor: driftFactor})
+}
+
+// --- rendering --------------------------------------------------------------
+
+// RenderStyle controls RenderSVG output.
+type RenderStyle = render.Style
+
+// DefaultRenderStyle returns the standard rendering style.
+func DefaultRenderStyle() RenderStyle { return render.Default() }
+
+// RenderSVG draws the instance — and, when sol is non-nil, its solution —
+// as a standalone SVG document (network grey, customers red, candidate
+// facilities blue, selected facilities solid, assignments linked).
+func RenderSVG(w io.Writer, inst *Instance, sol *Solution, style RenderStyle) error {
+	return render.SVG(w, inst, sol, style)
+}
+
+// --- local-search polish -----------------------------------------------------
+
+// ImproveStats reports local-search work counters.
+type ImproveStats = localsearch.Stats
+
+// Improve post-optimizes a solution with single-swap local search
+// (exchange one open facility for a nearby unselected candidate,
+// rebuilding the optimal assignment; first-improvement, bounded moves).
+// maxMoves 0 picks the default budget of 2·k. The returned solution is
+// never worse than the input.
+func Improve(inst *Instance, sol *Solution, maxMoves int, opts ...Option) (*Solution, ImproveStats, error) {
+	o := buildOptions(opts)
+	return localsearch.Improve(inst, sol, localsearch.Options{MaxMoves: maxMoves, Core: o.core})
+}
+
+// --- DIMACS road-network interchange ----------------------------------------
+
+// ReadDIMACSGraph parses a 9th-DIMACS-challenge shortest-path graph (and
+// optional coordinate companion; pass nil to skip). undirected collapses
+// the symmetric arc pairs of road-network distributions.
+func ReadDIMACSGraph(gr io.Reader, co io.Reader, undirected bool) (*Graph, error) {
+	return data.ReadDIMACSGraph(gr, co, undirected)
+}
+
+// WriteDIMACSGraph emits a graph (and, when coW is non-nil and
+// coordinates exist, their companion file) in DIMACS format.
+func WriteDIMACSGraph(grW io.Writer, coW io.Writer, g *Graph) error {
+	return data.WriteDIMACSGraph(grW, coW, g)
+}
+
+// --- point-to-point distance oracle ------------------------------------------
+
+// DistanceOracle is an exact point-to-point shortest-path oracle (A*
+// with landmark bounds) for ad-hoc queries against a network — e.g.,
+// auditing individual customer→facility trips of a solution. Not safe
+// for concurrent use; build one per goroutine.
+type DistanceOracle = graph.ALT
+
+// NewDistanceOracle preprocesses numLandmarks landmarks (one Dijkstra
+// each); undirected networks only.
+func NewDistanceOracle(g *Graph, numLandmarks int, seed int64) (*DistanceOracle, error) {
+	return graph.NewALT(g, numLandmarks, seed)
+}
+
+// WriteGeoJSON exports an instance and optional solution as a GeoJSON
+// FeatureCollection (customers and facilities as Points with properties,
+// assignments as LineStrings) for use in standard mapping tools.
+func WriteGeoJSON(w io.Writer, inst *Instance, sol *Solution) error {
+	return render.GeoJSON(w, inst, sol)
+}

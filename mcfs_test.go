@@ -1,0 +1,327 @@
+package mcfs_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcfs"
+)
+
+// buildInstance assembles a moderate synthetic instance through the
+// public API only.
+func buildInstance(t *testing.T, seed int64) *mcfs.Instance {
+	t.Helper()
+	g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 600, Alpha: 2.5, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	pool := mcfs.LargestComponent(g)
+	return &mcfs.Instance{
+		G:          g,
+		Customers:  mcfs.SampleCustomersFrom(pool, 60, rng),
+		Facilities: mcfs.SampleFacilitiesFrom(pool, 120, rng, mcfs.UniformCapacity(10)),
+		K:          12,
+	}
+}
+
+func TestPublicAPISolveFlow(t *testing.T) {
+	inst := buildInstance(t, 1)
+	sol, err := mcfs.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.CheckSolution(sol); err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Selected) == 0 || len(sol.Assignment) != inst.M() {
+		t.Fatalf("solution shape: %d selected, %d assigned", len(sol.Selected), len(sol.Assignment))
+	}
+}
+
+func TestPublicAPIAllSolvers(t *testing.T) {
+	inst := buildInstance(t, 2)
+	solvers := map[string]func() (*mcfs.Solution, error){
+		"wma":     func() (*mcfs.Solution, error) { return mcfs.Solve(inst) },
+		"uf":      func() (*mcfs.Solution, error) { return mcfs.SolveUniformFirst(inst) },
+		"hilbert": func() (*mcfs.Solution, error) { return mcfs.SolveHilbert(inst) },
+		"naive":   func() (*mcfs.Solution, error) { return mcfs.SolveNaive(inst, mcfs.WithSeed(3)) },
+	}
+	for name, run := range solvers {
+		sol, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := inst.CheckSolution(sol); err != nil {
+			t.Fatalf("%s: invalid solution: %v", name, err)
+		}
+	}
+}
+
+func TestPublicAPIBRNNSmall(t *testing.T) {
+	// BRNN is the slow baseline; use a smaller instance.
+	g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 200, Alpha: 2.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pool := mcfs.LargestComponent(g)
+	inst := &mcfs.Instance{
+		G:          g,
+		Customers:  mcfs.SampleCustomersFrom(pool, 20, rng),
+		Facilities: mcfs.SampleFacilitiesFrom(pool, 40, rng, mcfs.UniformCapacity(5)),
+		K:          6,
+	}
+	sol, err := mcfs.SolveBRNN(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.CheckSolution(sol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIExactAndOrdering(t *testing.T) {
+	g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 120, Alpha: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pool := mcfs.LargestComponent(g)
+	inst := &mcfs.Instance{
+		G:          g,
+		Customers:  mcfs.SampleCustomersFrom(pool, 8, rng),
+		Facilities: mcfs.SampleFacilitiesFrom(pool, 7, rng, mcfs.UniformCapacity(3)),
+		K:          3,
+	}
+	exact, err := mcfs.SolveExact(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal {
+		t.Fatal("unbounded exact solve not optimal")
+	}
+	exh, err := mcfs.SolveExhaustive(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Solution.Objective != exh.Objective {
+		t.Fatalf("exact %d != exhaustive %d", exact.Solution.Objective, exh.Objective)
+	}
+	wma, err := mcfs.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wma.Objective < exact.Solution.Objective {
+		t.Fatal("heuristic beats optimum")
+	}
+}
+
+func TestPublicAPIExactTimeout(t *testing.T) {
+	inst := buildInstance(t, 8)
+	res, err := mcfs.SolveExact(inst, mcfs.WithTimeBudget(time.Nanosecond))
+	if err == nil {
+		if !res.Optimal {
+			t.Fatal("no error, not optimal")
+		}
+		return
+	}
+	if !errors.Is(err, mcfs.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestPublicAPIProgressAndOptions(t *testing.T) {
+	inst := buildInstance(t, 9)
+	calls := 0
+	_, err := mcfs.Solve(inst,
+		mcfs.WithProgress(func(mcfs.IterationStats) { calls++ }),
+		mcfs.WithExhaustiveMatching(),
+		mcfs.WithArbitraryTieBreak(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback not invoked")
+	}
+	if _, err := mcfs.Solve(inst, mcfs.WithRaiseAllDemands()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIInfeasible(t *testing.T) {
+	b := mcfs.NewGraphBuilder(2, false)
+	b.AddEdge(0, 1, 5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := &mcfs.Instance{
+		G:          g,
+		Customers:  []int32{0, 1},
+		Facilities: []mcfs.Facility{{Node: 0, Capacity: 1}},
+		K:          1,
+	}
+	if _, err := mcfs.Solve(inst); !errors.Is(err, mcfs.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPublicAPICityAndScenarios(t *testing.T) {
+	p, err := mcfs.CityPreset("aalborg", 0.01, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mcfs.GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := mcfs.NetworkStats(g)
+	if st.Nodes == 0 || st.AvgDegree < 1.5 {
+		t.Fatalf("city stats: %+v", st)
+	}
+
+	cow, err := mcfs.NewCoworkingScenario(g, mcfs.CoworkingConfig{Venues: 30, Customers: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := cow.Instance(g, 10)
+	sol, err := mcfs.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.CheckSolution(sol); err != nil {
+		t.Fatal(err)
+	}
+
+	bikes, err := mcfs.NewBikesScenario(g, mcfs.BikesConfig{Stations: 50, Bikes: 80, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binst := bikes.Instance(g, 25)
+	bsol, err := mcfs.Solve(binst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := binst.CheckSolution(bsol); err != nil {
+		t.Fatal(err)
+	}
+
+	cust, err := mcfs.DistrictCustomers(g, mcfs.DistrictConfig{Districts: 3, Customers: 40, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cust) != 40 {
+		t.Fatalf("district customers: %d", len(cust))
+	}
+}
+
+func TestPublicAPISerializationRoundTrip(t *testing.T) {
+	inst := buildInstance(t, 14)
+	var buf bytes.Buffer
+	if err := mcfs.WriteInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mcfs.ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mcfs.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mcfs.Solve(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective {
+		t.Fatalf("round-tripped instance solves differently: %d vs %d", a.Objective, b.Objective)
+	}
+}
+
+func TestPublicAPIAssignToSelection(t *testing.T) {
+	inst := buildInstance(t, 15)
+	full, err := mcfs.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := mcfs.AssignToSelection(inst, full.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Objective != full.Objective {
+		t.Fatalf("re-assignment over the same selection changed cost: %d vs %d", re.Objective, full.Objective)
+	}
+}
+
+func TestPublicAPIQualityOrdering(t *testing.T) {
+	// The paper's headline ordering on clustered data, in aggregate:
+	// WMA <= Hilbert and WMA <= Naive (BRNN excluded for runtime).
+	var wmaSum, hilbertSum, naiveSum int64
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 800, Alpha: 1.8, Clusters: 20, Seed: 20 + seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(30 + seed))
+		pool := mcfs.LargestComponent(g)
+		// Tight occupancy (o = 0.8): the regime where exact matching and
+		// careful selection pay off (paper Fig. 7).
+		inst := &mcfs.Instance{
+			G:          g,
+			Customers:  mcfs.SampleCustomersFrom(pool, 80, rng),
+			Facilities: mcfs.NodesFacilities(pool, mcfs.UniformCapacity(5)),
+			K:          20,
+		}
+		w, err := mcfs.Solve(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := mcfs.SolveHilbert(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := mcfs.SolveNaive(inst, mcfs.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wmaSum += w.Objective
+		hilbertSum += h.Objective
+		naiveSum += n.Objective
+	}
+	if wmaSum > hilbertSum {
+		t.Errorf("WMA aggregate %d worse than Hilbert %d on clustered data", wmaSum, hilbertSum)
+	}
+	if wmaSum > naiveSum {
+		t.Errorf("WMA aggregate %d worse than Naive %d", wmaSum, naiveSum)
+	}
+}
+
+func TestPublicAPIReallocator(t *testing.T) {
+	inst := buildInstance(t, 16)
+	r, err := mcfs.NewReallocator(inst, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.AddCustomer(inst.Customers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveCustomer(h); err != nil {
+		t.Fatal(err)
+	}
+	finalInst, sol, err := r.Solution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := finalInst.CheckSolution(sol); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Arrivals != 1 || st.Departures != 1 || st.FullSolves < 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
