@@ -5,9 +5,13 @@
 //	mcfsbench -list
 //	mcfsbench -exp F6a,F6b -scale 1 -csv out.csv
 //	mcfsbench -exp all -scale 0.2 -exactbudget 5s -md results.md
+//	mcfsbench -exp F6a,F7a -workers 4 -notimes -csv out.csv
 //
 // Scale 1 runs laptop-sized sweeps; larger scales approach the paper's
-// sizes (see EXPERIMENTS.md for the mapping).
+// sizes (see EXPERIMENTS.md for the mapping). Experiment cells run on a
+// bounded worker pool (-workers, default all CPUs); row output is
+// deterministic at any worker count, and -notimes zeroes the wall-clock
+// columns so runs are byte-comparable.
 package main
 
 import (
@@ -30,6 +34,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "generation seed")
 		skipExact   = flag.Bool("noexact", false, "skip the exact solver")
 		skipBRNN    = flag.Bool("nobrnn", false, "skip the BRNN baseline")
+		workers     = flag.Int("workers", 0, "max concurrent experiment cells (0 = all CPUs)")
+		noTimes     = flag.Bool("notimes", false, "zero all runtime columns (byte-comparable output across runs)")
 		csvPath     = flag.String("csv", "", "also write rows as CSV to this file")
 		mdPath      = flag.String("md", "", "also write a markdown report to this file")
 	)
@@ -49,6 +55,15 @@ func main() {
 			ids[i] = strings.TrimSpace(ids[i])
 		}
 	}
+	// Validate every requested id before running anything, so a typo late
+	// in the list doesn't surface only after earlier experiments already
+	// burned their runtime.
+	for _, id := range ids {
+		if !bench.Known(id) {
+			fmt.Fprintf(os.Stderr, "mcfsbench: unknown experiment %q (run -list for ids)\n", id)
+			os.Exit(2)
+		}
+	}
 
 	cfg := bench.Config{
 		Scale:       *scale,
@@ -56,6 +71,7 @@ func main() {
 		Seed:        *seed,
 		SkipExact:   *skipExact,
 		SkipBRNN:    *skipBRNN,
+		Workers:     *workers,
 	}
 
 	var rows []bench.Row
@@ -63,6 +79,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "== %s ==\n", id)
 		start := time.Now()
 		err := bench.Run(id, cfg, func(r bench.Row) {
+			if *noTimes {
+				r.Runtime = 0
+			}
 			rows = append(rows, r)
 			printRow(os.Stdout, r)
 		})
@@ -104,20 +123,30 @@ func printRow(w *os.File, r bench.Row) {
 		r.Exp, r.X, r.XVal, algo, obj, r.Runtime.Round(time.Microsecond), note)
 }
 
-func writeCSV(path string, rows []bench.Row) error {
+func writeCSV(path string, rows []bench.Row) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// A failed Close can be the only sign of a short write (full disk);
+	// don't let the deferred call swallow it.
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return bench.WriteCSV(f, rows)
 }
 
-func writeMarkdown(path string, rows []bench.Row) error {
+func writeMarkdown(path string, rows []bench.Row) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return bench.WriteMarkdown(f, rows)
 }

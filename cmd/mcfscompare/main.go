@@ -147,8 +147,13 @@ func writeExport(path string, fn func(*os.File) error) {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := fn(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	// A failed Close can be the only sign of a short write; the "wrote"
+	// confirmation must not print in that case.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)

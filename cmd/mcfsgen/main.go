@@ -59,18 +59,27 @@ func main() {
 	}
 
 	w := os.Stdout
+	var outF *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcfsgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		outF = f
 		w = f
 	}
 	if err := mcfs.WriteInstance(w, inst); err != nil {
 		fmt.Fprintln(os.Stderr, "mcfsgen:", err)
 		os.Exit(1)
+	}
+	// Close explicitly: a failed Close can be the only sign of a short
+	// write, and the success message below must not print in that case.
+	if outF != nil {
+		if err := outF.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mcfsgen:", err)
+			os.Exit(1)
+		}
 	}
 	if *out != "" {
 		st := mcfs.NetworkStats(inst.G)

@@ -61,6 +61,14 @@ type Config struct {
 	// quick regression runs).
 	SkipExact bool
 	SkipBRNN  bool
+	// Workers bounds the number of experiment cells (instance generation
+	// plus one algorithm run) solved concurrently; 0 or negative means
+	// runtime.GOMAXPROCS(0). Row output is deterministic at any worker
+	// count, except the two fields that are wall-clock by nature: Runtime
+	// values, and the incumbent objective of exact rows marked "timeout"
+	// (how far branch & bound gets before its cutoff depends on machine
+	// load — it varies between two serial runs too).
+	Workers int
 }
 
 func (c Config) normalized() Config {
@@ -76,7 +84,9 @@ func (c Config) normalized() Config {
 	return c
 }
 
-// Runner executes one experiment, emitting rows as they are measured.
+// Runner executes one experiment. Rows are emitted in a deterministic
+// order regardless of Config.Workers: parallel runners buffer each
+// cell's rows and replay them in cell-submission order (see parallel.go).
 type Runner func(cfg Config, emit func(Row)) error
 
 var registry = map[string]Runner{}
@@ -93,6 +103,15 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
+}
+
+// Known reports whether an experiment id is registered. Callers running
+// several experiments should validate every id up front so that a typo
+// late in the list does not surface only after earlier experiments have
+// already burned their runtime.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
 }
 
 // Run executes the experiment with the given id.
@@ -154,9 +173,15 @@ func runAlgo(exp, x string, xv float64, algo Algo, inst *data.Instance, cfg Conf
 	row := Row{Exp: exp, X: x, XVal: xv, Algo: algo, Runtime: elapsed, Objective: -1}
 	switch {
 	case errors.Is(err, solver.ErrTimeout):
+		// The incumbent at cutoff gets the same from-scratch verification
+		// as every completed result before its objective is trusted.
 		row.Note = "timeout"
 		if sol != nil {
-			row.Objective = sol.Objective // best incumbent at cutoff
+			if _, verr := inst.CheckSolution(sol); verr != nil {
+				row.Note = "timeout; VERIFICATION FAILED: " + verr.Error()
+			} else {
+				row.Objective = sol.Objective // best incumbent at cutoff
+			}
 		}
 	case errors.Is(err, data.ErrInfeasible):
 		row.Note = "infeasible"

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+
+	"mcfs/internal/data"
+)
+
+// This file is the harness's parallel execution layer. An experiment is
+// decomposed into independent cells — typically one (sweep-point ×
+// algorithm) pair, each fully determined by the experiment config and
+// its explicit seeds — that are dispatched to a bounded worker pool.
+// Each cell buffers the rows it emits; the pool replays them strictly
+// in submission order, so a run at any worker count produces the same
+// row stream as a serial one. Wall-clock Runtime values are the only
+// nondeterministic row fields (cmd/mcfsbench -notimes zeroes them for
+// byte-comparable output).
+//
+// Instance generation happens inside cells: points share their instance
+// through a lazy memoized builder, so the first cell to need a point
+// generates it (in parallel across points) and the others reuse it.
+// The shared *data.Instance and *graph.Graph are treated as immutable
+// from that moment on; every solve path has been audited (and is
+// race-tested) to not mutate them.
+
+// cellResult is the buffered output of one finished cell.
+type cellResult struct {
+	rows []Row
+	err  error
+}
+
+// pool dispatches cells to at most `workers` concurrent goroutines and
+// reassembles their rows deterministically.
+type pool struct {
+	sem     chan struct{}
+	results []chan cellResult
+}
+
+// newPool sizes a pool from cfg.Workers (0 or negative: all CPUs).
+func newPool(cfg Config) *pool {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &pool{sem: make(chan struct{}, w)}
+}
+
+// cell schedules fn. Rows passed to fn's emit are buffered and replayed
+// by drain in submission order; fn must not retain emit past its return.
+func (p *pool) cell(fn func(emit func(Row)) error) {
+	ch := make(chan cellResult, 1)
+	p.results = append(p.results, ch)
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		var rows []Row
+		err := fn(func(r Row) { rows = append(rows, r) })
+		ch <- cellResult{rows: rows, err: err}
+	}()
+}
+
+// drain waits for every scheduled cell, replays rows in submission
+// order, and returns the first error in that order (rows of cells after
+// a failed one are dropped, matching serial semantics).
+func (p *pool) drain(emit func(Row)) error {
+	var firstErr error
+	for _, ch := range p.results {
+		res := <-ch
+		if firstErr != nil {
+			continue
+		}
+		if res.err != nil {
+			firstErr = res.err
+			continue
+		}
+		for _, r := range res.rows {
+			emit(r)
+		}
+	}
+	p.results = nil
+	return firstErr
+}
+
+// lazy memoizes a deterministic builder so that concurrent cells share
+// one generation; the first caller builds, everyone else blocks until
+// the value (or error) is ready.
+func lazy[T any](build func() (T, error)) func() (T, error) {
+	var (
+		once sync.Once
+		val  T
+		err  error
+	)
+	return func() (T, error) {
+		once.Do(func() { val, err = build() })
+		return val, err
+	}
+}
+
+// sweepPoint is one x-position of an experiment sweep: an axis label, a
+// memoized instance builder, and the algorithms to run on it.
+type sweepPoint struct {
+	x     string
+	xv    float64
+	xvFn  func(*data.Instance) float64 // optional: derive xv from the built instance
+	inst  func() (*data.Instance, error)
+	algos []Algo // non-exact algorithms, one cell each
+	exact bool   // include this point in the exact-solver chain
+}
+
+// xval resolves a point's axis value against its built instance.
+func (pt sweepPoint) xval(inst *data.Instance) float64 {
+	if pt.xvFn != nil {
+		return pt.xvFn(inst)
+	}
+	return pt.xv
+}
+
+// runSweep dispatches one cell per (point, algorithm) plus a single
+// serial exact-solver chain cell over the exact-enabled points; with
+// exactDropout the chain stops after its first timeout (the paper's
+// "Gurobi failed beyond ..." behaviour), which is a cross-point
+// dependency and therefore cannot be parallelized. Exact rows are
+// emitted after all heuristic rows of the sweep.
+func runSweep(exp string, points []sweepPoint, exactDropout bool, cfg Config, emit func(Row)) error {
+	p := newPool(cfg)
+	for _, pt := range points {
+		pt := pt
+		for _, a := range pt.algos {
+			a := a
+			p.cell(func(emit func(Row)) error {
+				inst, err := pt.inst()
+				if err != nil {
+					return err
+				}
+				runAlgo(exp, pt.x, pt.xval(inst), a, inst, cfg, cfg.Seed, emit)
+				return nil
+			})
+		}
+	}
+	if !cfg.SkipExact {
+		var chain []sweepPoint
+		for _, pt := range points {
+			if pt.exact {
+				chain = append(chain, pt)
+			}
+		}
+		if len(chain) > 0 {
+			p.cell(func(emit func(Row)) error {
+				for _, pt := range chain {
+					inst, err := pt.inst()
+					if err != nil {
+						return err
+					}
+					timedOut := false
+					runAlgo(exp, pt.x, pt.xval(inst), AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
+						timedOut = strings.HasPrefix(r.Note, "timeout")
+						emit(r)
+					})
+					if timedOut && exactDropout {
+						break
+					}
+				}
+				return nil
+			})
+		}
+	}
+	return p.drain(emit)
+}

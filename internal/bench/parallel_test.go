@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolOrderAndBound checks the two pool invariants everything else
+// rests on: rows replay in cell-submission order regardless of the order
+// cells finish in, and no more than Workers cells run at once.
+func TestPoolOrderAndBound(t *testing.T) {
+	const cells, workers = 40, 3
+	var running, peak int32
+	p := newPool(Config{Workers: workers})
+	for i := 0; i < cells; i++ {
+		i := i
+		p.cell(func(emit func(Row)) error {
+			cur := atomic.AddInt32(&running, 1)
+			for {
+				old := atomic.LoadInt32(&peak)
+				if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+					break
+				}
+			}
+			// Emit two rows so multi-row cells stay contiguous in the output.
+			emit(Row{Exp: "test", XVal: float64(i)})
+			emit(Row{Exp: "test", XVal: float64(i) + 0.5})
+			atomic.AddInt32(&running, -1)
+			return nil
+		})
+	}
+	var got []float64
+	if err := p.drain(func(r Row) { got = append(got, r.XVal) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2*cells {
+		t.Fatalf("rows = %d, want %d", len(got), 2*cells)
+	}
+	for i := 0; i < cells; i++ {
+		if got[2*i] != float64(i) || got[2*i+1] != float64(i)+0.5 {
+			t.Fatalf("row order broken at cell %d: %v %v", i, got[2*i], got[2*i+1])
+		}
+	}
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds Workers=%d", peak, workers)
+	}
+}
+
+// TestPoolErrorSemantics: the first error in submission order wins, and
+// rows of cells after the failed one are dropped — exactly what a serial
+// runner aborting mid-loop would have produced.
+func TestPoolErrorSemantics(t *testing.T) {
+	boom := errors.New("boom")
+	p := newPool(Config{Workers: 4})
+	p.cell(func(emit func(Row)) error { emit(Row{XVal: 0}); return nil })
+	p.cell(func(emit func(Row)) error { return boom })
+	p.cell(func(emit func(Row)) error { emit(Row{XVal: 2}); return nil })
+	var got []float64
+	err := p.drain(func(r Row) { got = append(got, r.XVal) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("rows = %v, want only the pre-error cell's row", got)
+	}
+}
+
+// TestParallelDeterminism asserts the tentpole guarantee: a Workers=4
+// run emits the identical row stream to a serial run for the same seed,
+// across two experiment ids (a size sweep and a k sweep). Runtime is
+// wall-clock and excluded, exactly as mcfsbench -notimes excludes it.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two experiments twice")
+	}
+	base := Config{Scale: 0.02, Seed: 7, SkipExact: true}
+	collect := func(cfg Config) []string {
+		t.Helper()
+		var rows []string
+		for _, id := range []string{"F6a", "F7a"} {
+			err := Run(id, cfg, func(r Row) {
+				r.Runtime = 0
+				rows = append(rows, fmt.Sprintf("%+v", r))
+			})
+			if err != nil {
+				t.Fatalf("%s (workers=%d): %v", id, cfg.Workers, err)
+			}
+		}
+		return rows
+	}
+	serial := collect(Config{Scale: base.Scale, Seed: base.Seed, SkipExact: true, Workers: 1})
+	parallel := collect(Config{Scale: base.Scale, Seed: base.Seed, SkipExact: true, Workers: 4})
+	if len(serial) != len(parallel) {
+		t.Fatalf("row count differs: serial %d vs parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("row %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}

@@ -68,28 +68,26 @@ func kSweep(m, meanCap, maxK int) []int {
 
 // runCoworkingSweep executes a Fig. 12a/13a-style k sweep on a coworking
 // or bikes instance: WMA Direct, WMA Uniform-First, Hilbert, Naive,
-// BRNN, and the exact solver.
-func runCoworkingSweep(exp string, inst *data.Instance, ks []int, cfg Config, emit func(Row)) {
-	exactAlive := !cfg.SkipExact
+// BRNN, and the exact solver. Each k gets a private shallow copy of the
+// instance (graph, customers, and facilities shared read-only) so the
+// per-(k, algorithm) cells can run in parallel.
+func runCoworkingSweep(exp string, inst *data.Instance, ks []int, cfg Config, emit func(Row)) error {
+	var points []sweepPoint
 	for idx, k := range ks {
-		inst.K = k
-		x, xv := "k", float64(k)
-		runAlgo(exp, x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo(exp, x, xv, AlgoUF, inst, cfg, cfg.Seed, emit)
-		runAlgo(exp, x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo(exp, x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
+		withK := *inst
+		withK.K = k
+		algos := []Algo{AlgoWMA, AlgoUF, AlgoHilbert, AlgoNaive}
 		if !cfg.SkipBRNN && idx == 0 {
-			runAlgo(exp, x, xv, AlgoBRNN, inst, cfg, cfg.Seed, emit)
+			algos = append(algos, AlgoBRNN)
 		}
-		if exactAlive {
-			timedOut := false
-			runAlgo(exp, x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		points = append(points, sweepPoint{
+			x: "k", xv: float64(k),
+			inst:  func() (*data.Instance, error) { return &withK, nil },
+			algos: algos,
+			exact: true,
+		})
 	}
+	return runSweep(exp, points, true, cfg, emit)
 }
 
 // runF12a is the Las Vegas coworking comparison (objective vs k).
@@ -98,13 +96,13 @@ func runF12a(cfg Config, emit func(Row)) error {
 	if err != nil {
 		return err
 	}
-	runCoworkingSweep("F12a", inst, kSweep(m, 9, inst.L()), cfg, emit)
-	return nil
+	return runCoworkingSweep("F12a", inst, kSweep(m, 9, inst.L()), cfg, emit)
 }
 
 // runF12b reports WMA's per-iteration statistics on the Las Vegas
 // scenario (covered customers, matching time, set-cover time) — the
 // paper uses k = 600 of 4089 venues; we keep the same ≈15% ratio.
+// Inherently serial: the rows are the progress trace of a single solve.
 func runF12b(cfg Config, emit func(Row)) error {
 	_, inst, _, err := vegasCoworking(cfg)
 	if err != nil {
@@ -116,13 +114,16 @@ func runF12b(cfg Config, emit func(Row)) error {
 	}
 	start := time.Now()
 	_, err = core.Solve(inst, core.Options{Progress: func(s core.IterationStats) {
+		// Wall-clock lives only in Runtime (one row per phase), never in
+		// the note, so -notimes keeps the row stream byte-comparable.
+		note := fmt.Sprintf("covered=%d edges=%d demand=%d", s.Covered, s.Edges, s.DemandTotal)
 		emit(Row{
-			Exp: "F12b", X: "iter", XVal: float64(s.Iteration), Algo: AlgoWMA,
-			Objective: int64(s.Covered),
-			Runtime:   s.MatchTime + s.CoverTime,
-			Note: fmt.Sprintf("covered=%d match=%s cover=%s edges=%d demand=%d",
-				s.Covered, s.MatchTime.Round(time.Microsecond),
-				s.CoverTime.Round(time.Microsecond), s.Edges, s.DemandTotal),
+			Exp: "F12b", X: "match", XVal: float64(s.Iteration), Algo: AlgoWMA,
+			Objective: int64(s.Covered), Runtime: s.MatchTime, Note: note,
+		})
+		emit(Row{
+			Exp: "F12b", X: "cover", XVal: float64(s.Iteration), Algo: AlgoWMA,
+			Objective: int64(s.Covered), Runtime: s.CoverTime, Note: note,
 		})
 	}})
 	if err != nil {
@@ -165,8 +166,7 @@ func runF13a(cfg Config, emit func(Row)) error {
 	}
 	sc.Customers = cust
 	inst := sc.Instance(g, 0)
-	runCoworkingSweep("F13a", inst, kSweep(m, 9, inst.L()), cfg, emit)
-	return nil
+	return runCoworkingSweep("F13a", inst, kSweep(m, 9, inst.L()), cfg, emit)
 }
 
 // runF13b is the Copenhagen dockless-bike experiment: 6000 stations and
@@ -195,6 +195,5 @@ func runF13b(cfg Config, emit func(Row)) error {
 		return err
 	}
 	inst := sc.Instance(g, 0)
-	runCoworkingSweep("F13b", inst, kSweep(bikes, 7, inst.L()), cfg, emit)
-	return nil
+	return runCoworkingSweep("F13b", inst, kSweep(bikes, 7, inst.L()), cfg, emit)
 }

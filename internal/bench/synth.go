@@ -85,140 +85,144 @@ func synthInstance(spec synthSpec, n int, seed int64) (*data.Instance, error) {
 }
 
 // runSynthSweep runs one Fig. 6/7 panel: objective and runtime for every
-// algorithm across the size sweep. The exact solver drops out of the
-// sweep after its first timeout (the paper's "Gurobi failed beyond ..."
-// behaviour); BRNN runs only on the two smallest sizes when enabled.
+// algorithm across the size sweep, one parallel cell per (size,
+// algorithm). The exact solver runs as a serial chain that drops out of
+// the sweep after its first timeout (the paper's "Gurobi failed beyond
+// ..." behaviour); BRNN runs only on the two smallest sizes when
+// enabled.
 func runSynthSweep(spec synthSpec, cfg Config, emit func(Row)) error {
-	exactAlive := !cfg.SkipExact
+	var points []sweepPoint
 	for idx, n := range sizeSweep(cfg) {
-		inst, err := synthInstance(spec, n, cfg.Seed)
-		if err != nil {
-			return err
-		}
-		x, xv := "n", float64(n)
-		runAlgo(spec.id, x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo(spec.id, x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo(spec.id, x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
+		n := n
+		algos := []Algo{AlgoWMA, AlgoHilbert, AlgoNaive}
 		if spec.withBRNN && !cfg.SkipBRNN && idx < 2 {
-			runAlgo(spec.id, x, xv, AlgoBRNN, inst, cfg, cfg.Seed, emit)
+			algos = append(algos, AlgoBRNN)
 		}
-		if exactAlive {
-			timedOut := false
-			runAlgo(spec.id, x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		points = append(points, sweepPoint{
+			x: "n", xv: float64(n),
+			inst: lazy(func() (*data.Instance, error) {
+				return synthInstance(spec, n, cfg.Seed)
+			}),
+			algos: algos,
+			exact: true,
+		})
 	}
-	return nil
+	return runSweep(spec.id, points, true, cfg, emit)
 }
 
 // runF5 reports the distribution examples of Fig. 5 as structural
-// statistics (nodes are drawn, not plotted, in this reproduction).
+// statistics (nodes are drawn, not plotted, in this reproduction), one
+// cell per distribution.
 func runF5(cfg Config, emit func(Row)) error {
 	n := max(8, int(10000*cfg.Scale))
+	p := newPool(cfg)
 	for _, clusters := range []int{0, 40, 20, 5} {
-		g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: clusters, Alpha: 1.5, Seed: cfg.Seed})
-		if err != nil {
-			return err
-		}
-		_, count := g.Components()
-		label := "uniform"
-		if clusters > 0 {
-			label = fmt.Sprintf("%d clusters", clusters)
-		}
-		emit(Row{
-			Exp: "F5", X: label, XVal: float64(clusters), Objective: -1,
-			Note: fmt.Sprintf("nodes=%d edges=%d avgdeg=%.2f components=%d",
-				g.N(), g.M(), g.AvgDegree(), count),
+		clusters := clusters
+		p.cell(func(emit func(Row)) error {
+			g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: clusters, Alpha: 1.5, Seed: cfg.Seed})
+			if err != nil {
+				return err
+			}
+			_, count := g.Components()
+			label := "uniform"
+			if clusters > 0 {
+				label = fmt.Sprintf("%d clusters", clusters)
+			}
+			emit(Row{
+				Exp: "F5", X: label, XVal: float64(clusters), Objective: -1,
+				Note: fmt.Sprintf("nodes=%d edges=%d avgdeg=%.2f components=%d",
+					g.N(), g.M(), g.AvgDegree(), count),
+			})
+			return nil
 		})
 	}
-	return nil
+	return p.drain(emit)
 }
 
-// f8Graph builds the fixed clustered-20 network used by the Fig. 8
-// sweeps.
-func f8Graph(cfg Config) (*graph.Graph, int, error) {
-	n := max(64, int(10000*cfg.Scale))
-	g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: 20, Alpha: 1.5, Seed: cfg.Seed})
-	return g, n, err
+// f8Size is the node count of the fixed clustered-20 network used by the
+// Fig. 8 sweeps.
+func f8Size(cfg Config) int { return max(64, int(10000*cfg.Scale)) }
+
+// lazyF8Graph memoizes that network so all sweep points share one
+// generation.
+func lazyF8Graph(cfg Config) func() (*graph.Graph, error) {
+	return lazy(func() (*graph.Graph, error) {
+		return gen.Synthetic(gen.SyntheticConfig{N: f8Size(cfg), Clusters: 20, Alpha: 1.5, Seed: cfg.Seed})
+	})
 }
 
 // runF8a sweeps the candidate-facility fraction ℓ/|V| from 40% to 100%
 // (dense customers, high capacity).
 func runF8a(cfg Config, emit func(Row)) error {
-	g, n, err := f8Graph(cfg)
-	if err != nil {
-		return err
-	}
+	n := f8Size(cfg)
+	g := lazyF8Graph(cfg)
 	m := n / 5
 	k := max(1, n/50)
-	exactAlive := !cfg.SkipExact
+	var points []sweepPoint
 	for _, pct := range []int{40, 60, 80, 100} {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(pct)))
-		l := n * pct / 100
-		inst := &data.Instance{
-			G:          g,
-			Facilities: gen.SampleFacilities(g, l, rng, gen.UniformCapacity(20)),
-			K:          k,
-		}
-		feasibleCustomers(inst, m, cfg.Seed+303)
-		x, xv := "l%", float64(pct)
-		runAlgo("F8a", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8a", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8a", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
-		if exactAlive {
-			timedOut := false
-			runAlgo("F8a", x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		pct := pct
+		points = append(points, sweepPoint{
+			x: "l%", xv: float64(pct),
+			inst: lazy(func() (*data.Instance, error) {
+				gg, err := g()
+				if err != nil {
+					return nil, err
+				}
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(pct)))
+				inst := &data.Instance{
+					G:          gg,
+					Facilities: gen.SampleFacilities(gg, n*pct/100, rng, gen.UniformCapacity(20)),
+					K:          k,
+				}
+				feasibleCustomers(inst, m, cfg.Seed+303)
+				return inst, nil
+			}),
+			algos: []Algo{AlgoWMA, AlgoHilbert, AlgoNaive},
+			exact: true,
+		})
 	}
-	return nil
+	return runSweep("F8a", points, true, cfg, emit)
 }
 
 // runF8b sweeps the number of customers m (fixed k, c = 10, F_p = V).
 func runF8b(cfg Config, emit func(Row)) error {
-	g, n, err := f8Graph(cfg)
-	if err != nil {
-		return err
-	}
+	n := f8Size(cfg)
+	g := lazyF8Graph(cfg)
 	k := max(1, n/20)
-	inst := &data.Instance{G: g}
-	exactAlive := !cfg.SkipExact
+	var points []sweepPoint
 	// The default sweep stops at 20% of n: occupancy beyond ~0.5 drives
 	// WMA runtimes toward the paper's hours-long regime (grow -scale to
 	// push further).
 	for _, frac := range []int{2, 5, 10, 20} { // m = frac% of n
+		frac := frac
 		m := max(1, n*frac/100)
-		disjointWorkload(inst, m, k, gen.UniformCapacity(10), cfg.Seed+404+int64(frac))
-		x, xv := "m", float64(m)
-		runAlgo("F8b", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8b", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8b", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
-		if exactAlive {
-			timedOut := false
-			runAlgo("F8b", x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		points = append(points, sweepPoint{
+			x: "m", xv: float64(m),
+			inst: lazy(func() (*data.Instance, error) {
+				gg, err := g()
+				if err != nil {
+					return nil, err
+				}
+				inst := &data.Instance{G: gg}
+				disjointWorkload(inst, m, k, gen.UniformCapacity(10), cfg.Seed+404+int64(frac))
+				return inst, nil
+			}),
+			algos: []Algo{AlgoWMA, AlgoHilbert, AlgoNaive},
+			exact: true,
+		})
 	}
-	return nil
+	return runSweep("F8b", points, true, cfg, emit)
 }
 
 // runF8c scales customers past the node count (several customers per
-// node) at occupancy o = 0.1 (c = 20, k = m/2).
+// node) at occupancy o = 0.1 (c = 20, k = m/2). Exact is skipped: the
+// paper reports Gurobi fails for large m.
 func runF8c(cfg Config, emit func(Row)) error {
-	g, n, err := f8Graph(cfg)
-	if err != nil {
-		return err
-	}
+	n := f8Size(cfg)
+	g := lazyF8Graph(cfg)
+	var points []sweepPoint
 	for _, frac := range []int{20, 50, 100, 200} { // m as % of n
+		frac := frac
 		m := max(1, n*frac/100)
 		k := m / 2
 		if k > n/2 {
@@ -227,103 +231,108 @@ func runF8c(cfg Config, emit func(Row)) error {
 		if k < 1 {
 			k = 1
 		}
-		inst := &data.Instance{
-			G:          g,
-			Facilities: gen.AllNodesFacilities(g, gen.UniformCapacity(20)),
-			K:          k,
-		}
-		feasibleCustomers(inst, m, cfg.Seed+505+int64(frac))
-		x, xv := "m", float64(m)
-		runAlgo("F8c", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8c", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8c", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
-		// Exact is skipped: the paper reports Gurobi fails for large m.
+		points = append(points, sweepPoint{
+			x: "m", xv: float64(m),
+			inst: lazy(func() (*data.Instance, error) {
+				gg, err := g()
+				if err != nil {
+					return nil, err
+				}
+				inst := &data.Instance{
+					G:          gg,
+					Facilities: gen.AllNodesFacilities(gg, gen.UniformCapacity(20)),
+					K:          k,
+				}
+				feasibleCustomers(inst, m, cfg.Seed+505+int64(frac))
+				return inst, nil
+			}),
+			algos: []Algo{AlgoWMA, AlgoHilbert, AlgoNaive},
+		})
 	}
-	return nil
+	return runSweep("F8c", points, true, cfg, emit)
 }
 
 // runF8d sweeps the budget k (fixed m = 0.1n, c = 10, F_p = V).
 func runF8d(cfg Config, emit func(Row)) error {
-	g, n, err := f8Graph(cfg)
-	if err != nil {
-		return err
-	}
+	n := f8Size(cfg)
+	g := lazyF8Graph(cfg)
 	m := max(1, n/10)
-	inst := &data.Instance{G: g}
-	exactAlive := !cfg.SkipExact
+	var points []sweepPoint
 	for _, kFrac := range []int{2, 5, 10, 20} { // k as % of n
-		disjointWorkload(inst, m, max(1, n*kFrac/100), gen.UniformCapacity(10), cfg.Seed+606)
-		x, xv := "k", float64(inst.K)
-		runAlgo("F8d", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8d", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo("F8d", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
-		if exactAlive {
-			timedOut := false
-			runAlgo("F8d", x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		k := max(1, n*kFrac/100)
+		points = append(points, sweepPoint{
+			x: "k", xv: float64(k),
+			inst: lazy(func() (*data.Instance, error) {
+				gg, err := g()
+				if err != nil {
+					return nil, err
+				}
+				inst := &data.Instance{G: gg}
+				disjointWorkload(inst, m, k, gen.UniformCapacity(10), cfg.Seed+606)
+				return inst, nil
+			}),
+			algos: []Algo{AlgoWMA, AlgoHilbert, AlgoNaive},
+			exact: true,
+		})
 	}
-	return nil
+	return runSweep("F8d", points, true, cfg, emit)
 }
 
 // runF9a sweeps the density parameter α on 5-cluster data (c = 10); the
-// x axis reports the measured average degree, as in the paper.
+// x axis reports the measured average degree, as in the paper — derived
+// inside the cells from the generated graph (xvFn), so generation stays
+// parallel.
 func runF9a(cfg Config, emit func(Row)) error {
 	n := max(64, int(5000*cfg.Scale))
-	exactAlive := !cfg.SkipExact
+	var points []sweepPoint
 	for _, alpha := range []float64{1.0, 1.2, 1.5, 2.0, 2.5} {
-		g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: 5, Alpha: alpha, Seed: cfg.Seed})
-		if err != nil {
-			return err
-		}
-		inst := &data.Instance{G: g}
-		disjointWorkload(inst, max(1, n/10), max(1, n/20), gen.UniformCapacity(10), cfg.Seed+707)
-		x, xv := "avgdeg", g.AvgDegree()
-		runAlgo("F9a", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo("F9a", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo("F9a", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
-		if exactAlive {
-			timedOut := false
-			runAlgo("F9a", x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		alpha := alpha
+		points = append(points, sweepPoint{
+			x:    "avgdeg",
+			xvFn: func(inst *data.Instance) float64 { return inst.G.AvgDegree() },
+			inst: lazy(func() (*data.Instance, error) {
+				g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: 5, Alpha: alpha, Seed: cfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				inst := &data.Instance{G: g}
+				disjointWorkload(inst, max(1, n/10), max(1, n/20), gen.UniformCapacity(10), cfg.Seed+707)
+				return inst, nil
+			}),
+			algos: []Algo{AlgoWMA, AlgoHilbert, AlgoNaive},
+			exact: true,
+		})
 	}
-	return nil
+	return runSweep("F9a", points, true, cfg, emit)
 }
 
 // runF9b sweeps the uniform capacity c on 5-cluster data (α = 1.5).
 func runF9b(cfg Config, emit func(Row)) error {
 	n := max(64, int(5000*cfg.Scale))
-	g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: 5, Alpha: 1.5, Seed: cfg.Seed})
-	if err != nil {
-		return err
-	}
+	g := lazy(func() (*graph.Graph, error) {
+		return gen.Synthetic(gen.SyntheticConfig{N: n, Clusters: 5, Alpha: 1.5, Seed: cfg.Seed})
+	})
 	m := max(1, n/10)
 	k := max(1, n/20)
-	exactAlive := !cfg.SkipExact
+	var points []sweepPoint
 	for _, c := range []int{3, 4, 6, 10, 20, 40} {
-		inst := &data.Instance{G: g}
-		disjointWorkload(inst, m, k, gen.UniformCapacity(c), cfg.Seed+808)
-		x, xv := "c", float64(c)
-		runAlgo("F9b", x, xv, AlgoWMA, inst, cfg, cfg.Seed, emit)
-		runAlgo("F9b", x, xv, AlgoHilbert, inst, cfg, cfg.Seed, emit)
-		runAlgo("F9b", x, xv, AlgoNaive, inst, cfg, cfg.Seed, emit)
-		if exactAlive {
-			timedOut := false
-			runAlgo("F9b", x, xv, AlgoExact, inst, cfg, cfg.Seed, func(r Row) {
-				timedOut = r.Note == "timeout"
-				emit(r)
-			})
-			exactAlive = !timedOut
-		}
+		c := c
+		points = append(points, sweepPoint{
+			x: "c", xv: float64(c),
+			inst: lazy(func() (*data.Instance, error) {
+				gg, err := g()
+				if err != nil {
+					return nil, err
+				}
+				inst := &data.Instance{G: gg}
+				disjointWorkload(inst, m, k, gen.UniformCapacity(c), cfg.Seed+808)
+				return inst, nil
+			}),
+			algos: []Algo{AlgoWMA, AlgoHilbert, AlgoNaive},
+			exact: true,
+		})
 	}
-	return nil
+	return runSweep("F9b", points, true, cfg, emit)
 }
 
 func max(a, b int) int {

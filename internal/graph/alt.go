@@ -18,7 +18,9 @@ import (
 // one over a directed graph returns an error.
 //
 // An ALT instance reuses internal scratch space between queries and is
-// therefore not safe for concurrent use; clone one per goroutine.
+// therefore not safe for concurrent use; Clone one per goroutine. Clones
+// share the (immutable) preprocessed landmark tables, so cloning is
+// cheap relative to NewALT.
 type ALT struct {
 	g         *Graph
 	landmarks []int32
@@ -82,6 +84,21 @@ func NewALT(g *Graph, numLandmarks int, seed int64) (*ALT, error) {
 		a.dist = append(a.dist, g.Dijkstra(best))
 	}
 	return a, nil
+}
+
+// Clone returns an independent oracle for use by another goroutine: the
+// preprocessed landmark distance tables are shared read-only (no extra
+// Dijkstra runs), only the per-query scratch space is fresh.
+func (a *ALT) Clone() *ALT {
+	n := a.g.N()
+	return &ALT{
+		g:         a.g,
+		landmarks: a.landmarks,
+		dist:      a.dist,
+		d:         make([]int64, n),
+		stamp:     make([]int32, n),
+		heap:      pq.NewDense(n),
+	}
 }
 
 // Landmarks returns the chosen landmark nodes.

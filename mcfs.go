@@ -421,7 +421,8 @@ func WriteDIMACSGraph(grW io.Writer, coW io.Writer, g *Graph) error {
 // DistanceOracle is an exact point-to-point shortest-path oracle (A*
 // with landmark bounds) for ad-hoc queries against a network — e.g.,
 // auditing individual customer→facility trips of a solution. Not safe
-// for concurrent use; build one per goroutine.
+// for concurrent use; its Clone method hands each goroutine an
+// independent oracle sharing the preprocessed landmark tables.
 type DistanceOracle = graph.ALT
 
 // NewDistanceOracle preprocesses numLandmarks landmarks (one Dijkstra

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 verification gate: formatting, vet, and the full test suite
+# under the race detector (the parallel bench harness depends on the
+# audited immutability of shared instances — keep -race in the loop).
+set -eu
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "ci: OK"
