@@ -31,6 +31,7 @@ func main() {
 		list        = flag.Bool("list", false, "list experiment ids and exit")
 		scale       = flag.Float64("scale", 1, "size scale (1 = laptop defaults)")
 		exactBudget = flag.Duration("exactbudget", 15*time.Second, "per-point exact-solver budget")
+		algoTimeout = flag.Duration("algotimeout", 0, "per-point deadline for the heuristic algorithms; expiry is recorded as a 'timeout' row (0 = unlimited)")
 		seed        = flag.Int64("seed", 1, "generation seed")
 		skipExact   = flag.Bool("noexact", false, "skip the exact solver")
 		skipBRNN    = flag.Bool("nobrnn", false, "skip the BRNN baseline")
@@ -68,6 +69,7 @@ func main() {
 	cfg := bench.Config{
 		Scale:       *scale,
 		ExactBudget: *exactBudget,
+		AlgoTimeout: *algoTimeout,
 		Seed:        *seed,
 		SkipExact:   *skipExact,
 		SkipBRNN:    *skipBRNN,

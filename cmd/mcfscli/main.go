@@ -8,21 +8,30 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"mcfs"
 )
 
+func algoNames() string {
+	names := make([]string, 0, len(mcfs.Algorithms()))
+	for _, a := range mcfs.Algorithms() {
+		names = append(names, a.String())
+	}
+	return strings.Join(names, " | ")
+}
+
 func main() {
 	var (
-		algo       = flag.String("algo", "wma", "algorithm: wma | uf | hilbert | brnn | naive | exact | exhaustive")
+		algo       = flag.String("algo", "wma", "algorithm: "+algoNames())
 		in         = flag.String("in", "", "instance file (required)")
 		kOverride  = flag.Int("k", 0, "override the instance's facility budget")
-		timeout    = flag.Duration("timeout", 0, "time budget for -algo exact")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget: branch-and-bound cutoff for -algo exact, hard deadline for every other algorithm")
 		seed       = flag.Int64("seed", 1, "seed for -algo naive")
 		assignment = flag.Bool("assignment", false, "print the per-customer assignment")
 		verify     = flag.Bool("verify", true, "re-verify the solution from scratch")
@@ -48,7 +57,7 @@ func main() {
 	}
 
 	start := time.Now()
-	sol, err := run(*algo, inst, *timeout, *seed)
+	sol, note, err := run(*algo, inst, *timeout, *seed)
 	elapsed := time.Since(start)
 	if err != nil && sol == nil {
 		fatal(err)
@@ -68,6 +77,9 @@ func main() {
 	fmt.Printf("objective   %d\n", sol.Objective)
 	fmt.Printf("facilities  %d selected\n", len(sol.Selected))
 	fmt.Printf("runtime     %s\n", elapsed)
+	if note != "" {
+		fmt.Printf("note        %s\n", note)
+	}
 	if *assignment {
 		for i, j := range sol.Assignment {
 			fmt.Printf("customer %d @node %d -> facility %d @node %d\n",
@@ -76,36 +88,16 @@ func main() {
 	}
 }
 
-func run(algo string, inst *mcfs.Instance, timeout time.Duration, seed int64) (*mcfs.Solution, error) {
-	switch algo {
-	case "wma":
-		return mcfs.Solve(inst)
-	case "uf":
-		return mcfs.SolveUniformFirst(inst)
-	case "hilbert":
-		return mcfs.SolveHilbert(inst)
-	case "brnn":
-		return mcfs.SolveBRNN(inst)
-	case "naive":
-		return mcfs.SolveNaive(inst, mcfs.WithSeed(seed))
-	case "exact":
-		var opts []mcfs.Option
-		if timeout > 0 {
-			opts = append(opts, mcfs.WithTimeBudget(timeout))
-		}
-		res, err := mcfs.SolveExact(inst, opts...)
-		if res == nil {
-			return nil, err
-		}
-		if err != nil && errors.Is(err, mcfs.ErrTimeout) {
-			return res.Solution, err
-		}
-		return res.Solution, err
-	case "exhaustive":
-		return mcfs.SolveExhaustive(inst, 0)
-	default:
-		return nil, fmt.Errorf("unknown -algo %q", algo)
+func run(algo string, inst *mcfs.Instance, timeout time.Duration, seed int64) (*mcfs.Solution, string, error) {
+	a, err := mcfs.ParseAlgorithm(algo)
+	if err != nil {
+		return nil, "", err
 	}
+	opts := []mcfs.Option{mcfs.WithSeed(seed)}
+	if timeout > 0 {
+		opts = append(opts, mcfs.WithTimeBudget(timeout))
+	}
+	return a.Solve(context.Background(), inst, opts...)
 }
 
 func fatal(err error) {

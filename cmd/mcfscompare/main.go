@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		in          = flag.String("in", "", "instance file (required)")
-		algosFlag   = flag.String("algos", "wma,uf,hilbert,naive", "comma-separated algorithms: wma | uf | hilbert | brnn | naive | exact")
+		algosFlag   = flag.String("algos", "wma,uf,hilbert,naive", "comma-separated algorithms: wma | uf | hilbert | brnn | naive | exact | exhaustive")
 		exactBudget = flag.Duration("exactbudget", 15*time.Second, "time budget when 'exact' is included")
 		seed        = flag.Int64("seed", 1, "seed for 'naive'")
 		improve     = flag.Bool("improve", false, "also run the swap local-search polish on the best solution")
@@ -109,37 +110,15 @@ func main() {
 }
 
 func runAlgo(name string, inst *mcfs.Instance, budget time.Duration, seed int64) (*mcfs.Solution, string, error) {
-	switch name {
-	case "wma":
-		sol, err := mcfs.Solve(inst)
-		return sol, "", err
-	case "uf":
-		sol, err := mcfs.SolveUniformFirst(inst)
-		return sol, "", err
-	case "hilbert":
-		sol, err := mcfs.SolveHilbert(inst)
-		return sol, "", err
-	case "brnn":
-		sol, err := mcfs.SolveBRNN(inst)
-		return sol, "", err
-	case "naive":
-		sol, err := mcfs.SolveNaive(inst, mcfs.WithSeed(seed))
-		return sol, "", err
-	case "exact":
-		res, err := mcfs.SolveExact(inst, mcfs.WithTimeBudget(budget))
-		if res == nil {
-			return nil, "", err
-		}
-		if err != nil {
-			if errors.Is(err, mcfs.ErrTimeout) {
-				return res.Solution, "timeout (best incumbent)", nil
-			}
-			return nil, "", err
-		}
-		return res.Solution, fmt.Sprintf("proven optimal, %d nodes", res.Nodes), nil
-	default:
-		return nil, "", fmt.Errorf("unknown algorithm %q", name)
+	a, err := mcfs.ParseAlgorithm(name)
+	if err != nil {
+		return nil, "", err
 	}
+	opts := []mcfs.Option{mcfs.WithSeed(seed)}
+	if a == mcfs.AlgorithmExact {
+		opts = append(opts, mcfs.WithTimeBudget(budget))
+	}
+	return a.Solve(context.Background(), inst, opts...)
 }
 
 func writeExport(path string, fn func(*os.File) error) {

@@ -38,8 +38,12 @@ func main() {
 	}
 	fmt.Printf("scenario: %d candidate docking stations, %d scattered bikes\n\n", len(sc.Stations), len(sc.Bikes))
 
+	sweep := []int{120, 160, 200, 240}
+	if os.Getenv("MCFS_EXAMPLE_QUICK") != "" {
+		sweep = sweep[:2]
+	}
 	fmt.Printf("%6s  %12s  %12s  %12s  %12s\n", "k", "WMA", "WMA UF", "Hilbert", "Naive")
-	for _, k := range []int{120, 160, 200, 240} {
+	for _, k := range sweep {
 		inst := sc.Instance(g, k)
 		if ok, _ := inst.Feasible(); !ok {
 			fmt.Printf("%6d  infeasible at this budget\n", k)

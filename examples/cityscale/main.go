@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"mcfs"
@@ -27,9 +28,13 @@ func main() {
 	fmt.Printf("aalborg-like network: %d nodes, %d edges, avg degree %.2f, avg edge %.1f m\n\n",
 		st.Nodes, st.Edges, st.AvgDegree, st.AvgEdgeLength)
 
+	sweep := []int{100, 200, 400, 800}
+	if os.Getenv("MCFS_EXAMPLE_QUICK") != "" {
+		sweep = sweep[:2]
+	}
 	pool := mcfs.LargestComponent(g)
 	fmt.Printf("%8s %6s  %14s %10s  %14s %10s\n", "m", "k", "WMA obj", "WMA time", "Hilbert obj", "Hil time")
-	for _, m := range []int{100, 200, 400, 800} {
+	for _, m := range sweep {
 		k := m / 10
 		rng := rand.New(rand.NewSource(int64(m)))
 		inst := &mcfs.Instance{

@@ -12,6 +12,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mcfs"
@@ -39,8 +40,12 @@ func main() {
 	}
 	fmt.Printf("scenario: %d venues (avg hours as capacity), %d coworkers\n\n", len(sc.Venues), len(sc.Customers))
 
+	sweep := []int{80, 120, 160, 200}
+	if os.Getenv("MCFS_EXAMPLE_QUICK") != "" {
+		sweep = sweep[:2]
+	}
 	fmt.Printf("%6s  %12s  %12s  %12s\n", "k", "WMA direct", "WMA UF", "Hilbert")
-	for _, k := range []int{80, 120, 160, 200} {
+	for _, k := range sweep {
 		inst := sc.Instance(g, k)
 		if ok, _ := inst.Feasible(); !ok {
 			fmt.Printf("%6d  infeasible at this budget\n", k)

@@ -10,13 +10,18 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"mcfs"
 )
 
 func main() {
-	g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 4000, Clusters: 25, Alpha: 1.8, Seed: 3})
+	n, m, k, steps := 4000, 200, 60, 450
+	if os.Getenv("MCFS_EXAMPLE_QUICK") != "" {
+		n, m, k, steps = 1500, 100, 30, 120
+	}
+	g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: n, Clusters: 25, Alpha: 1.8, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,9 +29,9 @@ func main() {
 	pool := mcfs.LargestComponent(g)
 	inst := &mcfs.Instance{
 		G:          g,
-		Customers:  mcfs.SampleCustomersFrom(pool, 200, rng),
+		Customers:  mcfs.SampleCustomersFrom(pool, m, rng),
 		Facilities: mcfs.NodesFacilities(pool, mcfs.UniformCapacity(10)),
-		K:          60,
+		K:          k,
 	}
 	fmt.Printf("network %d nodes; initial m=%d, k=%d\n\n", g.N(), inst.M(), inst.K)
 
@@ -37,14 +42,14 @@ func main() {
 	obj, _ := r.Objective()
 	fmt.Printf("initial solve: objective %d\n", obj)
 
-	// Churn: 300 arrivals and 150 departures, interleaved.
+	// Churn: arrivals and departures interleaved 2:1.
 	var handles []int
 	for h := 0; h < inst.M(); h++ {
 		handles = append(handles, h)
 	}
 	start := time.Now()
 	arrivals, departures := 0, 0
-	for step := 0; step < 450; step++ {
+	for step := 0; step < steps; step++ {
 		if step%3 == 2 && len(handles) > 0 {
 			i := rng.Intn(len(handles))
 			if err := r.RemoveCustomer(handles[i]); err != nil {

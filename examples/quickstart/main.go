@@ -67,8 +67,13 @@ func main() {
 	}
 
 	// The exact solver proves optimality but does not scale; bound it.
+	// MCFS_EXAMPLE_QUICK shrinks the budget for CI smoke runs.
+	exactBudget := 20 * time.Second
+	if os.Getenv("MCFS_EXAMPLE_QUICK") != "" {
+		exactBudget = 500 * time.Millisecond
+	}
 	start := time.Now()
-	res, err := mcfs.SolveExact(inst, mcfs.WithTimeBudget(20*time.Second))
+	res, err := mcfs.SolveExact(inst, mcfs.WithTimeBudget(exactBudget))
 	switch {
 	case err == nil:
 		fmt.Printf("%-10s objective %8d   runtime %8s (proven optimal, %d nodes)\n",

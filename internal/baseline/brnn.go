@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"mcfs/internal/core"
 	"mcfs/internal/data"
 	"mcfs/internal/graph"
@@ -17,6 +19,17 @@ import (
 // matching produces the assignment and objective, exactly as the paper's
 // implementation runs SIA after the selection.
 func BRNN(inst *data.Instance, opt core.Options) (*data.Solution, error) {
+	return BRNNCtx(context.Background(), inst, opt)
+}
+
+// BRNNCtx is BRNN with cooperative cancellation: every per-customer and
+// per-facility Dijkstra polls ctx, so even the expensive 1-median and
+// attraction-counting phases return promptly. On cancellation it returns
+// nil and ctx.Err(); an uncancelled run is byte-identical to BRNN.
+func BRNNCtx(ctx context.Context, inst *data.Instance, opt core.Options) (*data.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,7 +51,10 @@ func BRNN(inst *data.Instance, opt core.Options) (*data.Solution, error) {
 	// candidates inside customer-rich components win.
 	agg := make([]int64, inst.L())
 	for _, s := range inst.Customers {
-		dist := inst.G.Dijkstra(s)
+		dist, err := inst.G.DijkstraCtx(ctx, s)
+		if err != nil {
+			return nil, err
+		}
 		for j, f := range inst.Facilities {
 			d := dist[f.Node]
 			if d >= graph.Inf {
@@ -60,7 +76,9 @@ func BRNN(inst *data.Instance, opt core.Options) (*data.Solution, error) {
 	// nearestSel[i]: distance from customer i to its nearest selected
 	// facility, maintained by one Dijkstra from each newly placed one.
 	nearestSel := make([]int64, inst.M())
-	updateNearest(inst, inst.Facilities[first].Node, nearestSel, true)
+	if err := updateNearest(ctx, inst, inst.Facilities[first].Node, nearestSel, true); err != nil {
+		return nil, err
+	}
 
 	for len(selection) < k {
 		attract := make([]int, inst.L())
@@ -72,7 +90,10 @@ func BRNN(inst *data.Instance, opt core.Options) (*data.Solution, error) {
 			if nearestSel[i] >= graph.Inf {
 				radius = -1 // unbounded: customer unreached by any selected facility
 			}
-			reach := inst.G.DijkstraWithin(s, radius)
+			reach, err := inst.G.DijkstraWithinCtx(ctx, s, radius)
+			if err != nil {
+				return nil, err
+			}
 			for node, d := range reach {
 				if j, ok := nodeToFac[node]; ok && !selected[j] && d < nearestSel[i] {
 					attract[j]++
@@ -93,26 +114,35 @@ func BRNN(inst *data.Instance, opt core.Options) (*data.Solution, error) {
 		}
 		selection = append(selection, best)
 		selected[best] = true
-		updateNearest(inst, inst.Facilities[best].Node, nearestSel, false)
+		if err := updateNearest(ctx, inst, inst.Facilities[best].Node, nearestSel, false); err != nil {
+			return nil, err
+		}
 	}
 
-	selection, err := core.CoverComponents(inst, selection)
+	selection, err := core.CoverComponentsCtx(ctx, inst, selection)
 	if err != nil {
 		return nil, err
 	}
 	if len(selection) < inst.K {
-		selection = core.SelectGreedy(inst, selection)
+		selection, err = core.SelectGreedyCtx(ctx, inst, selection)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return core.AssignToSelection(inst, selection, opt)
+	return core.AssignToSelectionCtx(ctx, inst, selection, opt)
 }
 
 // updateNearest lowers each customer's nearest-selected distance given a
 // newly opened facility node (one Dijkstra from that node).
-func updateNearest(inst *data.Instance, facNode int32, nearestSel []int64, first bool) {
-	dist := inst.G.Dijkstra(facNode)
+func updateNearest(ctx context.Context, inst *data.Instance, facNode int32, nearestSel []int64, first bool) error {
+	dist, err := inst.G.DijkstraCtx(ctx, facNode)
+	if err != nil {
+		return err
+	}
 	for i, s := range inst.Customers {
 		if first || dist[s] < nearestSel[i] {
 			nearestSel[i] = dist[s]
 		}
 	}
+	return nil
 }

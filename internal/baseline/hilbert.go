@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -40,6 +41,17 @@ const hilbertOrder = 16
 // customer→facility assignment is an optimal bipartite matching under
 // the true capacities, with a component-capacity repair pass first.
 func Hilbert(inst *data.Instance, opt core.Options) (*data.Solution, error) {
+	return HilbertCtx(context.Background(), inst, opt)
+}
+
+// HilbertCtx is Hilbert with cooperative cancellation, checked once per
+// component during bucketing and throughout the repair and final
+// matching phases. On cancellation it returns nil and ctx.Err(); an
+// uncancelled run is byte-identical to Hilbert.
+func HilbertCtx(ctx context.Context, inst *data.Instance, opt core.Options) (*data.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,17 +84,20 @@ func Hilbert(inst *data.Instance, opt core.Options) (*data.Solution, error) {
 	minX, maxX, minY, maxY := extent(inst.G)
 	var selection []int
 	for c := 0; c < count; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if budget[c] == 0 || len(custByComp[c]) == 0 {
 			continue
 		}
 		selection = append(selection, bucketAndSnap(inst, custByComp[c], facByComp[c], budget[c], minX, maxX, minY, maxY)...)
 	}
 
-	selection, err := core.CoverComponents(inst, selection)
+	selection, err := core.CoverComponentsCtx(ctx, inst, selection)
 	if err != nil {
 		return nil, err
 	}
-	return core.AssignToSelection(inst, selection, opt)
+	return core.AssignToSelectionCtx(ctx, inst, selection, opt)
 }
 
 // splitBudget distributes k facilities over components proportionally to

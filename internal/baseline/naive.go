@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,6 +18,17 @@ import (
 // capacity, never rewiring previous assignments. The final assignment
 // over the selected set is greedy as well.
 func Naive(inst *data.Instance, seed int64, opt core.Options) (*data.Solution, error) {
+	return NaiveCtx(context.Background(), inst, seed, opt)
+}
+
+// NaiveCtx is Naive with cooperative cancellation, checked once per
+// customer per iteration and inside the per-customer network searches.
+// On cancellation it returns nil and ctx.Err(); an uncancelled run is
+// byte-identical to Naive at the same seed.
+func NaiveCtx(ctx context.Context, inst *data.Instance, seed int64, opt core.Options) (*data.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -36,7 +48,7 @@ func Naive(inst *data.Instance, seed int64, opt core.Options) (*data.Solution, e
 			selection[j] = j
 		}
 	} else {
-		ga := newGreedyAssign(inst)
+		ga := newGreedyAssign(ctx, inst)
 		demand := make([]int, m)
 		for i := range demand {
 			demand[i] = 1
@@ -50,6 +62,9 @@ func Naive(inst *data.Instance, seed int64, opt core.Options) (*data.Solution, e
 		for iter := 1; ; iter++ {
 			rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 			for _, i := range order {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				ga.satisfy(i, demand[i])
 			}
 			var deltaD []bool
@@ -69,22 +84,27 @@ func Naive(inst *data.Instance, seed int64, opt core.Options) (*data.Solution, e
 			}
 		}
 		if len(selection) < k {
-			selection = core.SelectGreedy(inst, selection)
+			var err error
+			selection, err = core.SelectGreedyCtx(ctx, inst, selection)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if !covered {
 			var err error
-			selection, err = core.CoverComponents(inst, selection)
+			selection, err = core.CoverComponentsCtx(ctx, inst, selection)
 			if err != nil {
 				return nil, err
 			}
 		}
 	}
-	return greedyFinal(inst, selection, rng)
+	return greedyFinal(ctx, inst, selection, rng)
 }
 
 // greedyAssign tracks the naive exploration state; it implements
 // core.Coverage.
 type greedyAssign struct {
+	ctx       context.Context
 	inst      *data.Instance
 	searchers []*graph.NNSearcher
 	isCand    []bool
@@ -97,9 +117,10 @@ type greedyAssign struct {
 	exhausted []bool
 }
 
-func newGreedyAssign(inst *data.Instance) *greedyAssign {
+func newGreedyAssign(ctx context.Context, inst *data.Instance) *greedyAssign {
 	isCand, nodeToFac := inst.CandidateMask()
 	return &greedyAssign{
+		ctx:       ctx,
 		inst:      inst,
 		searchers: make([]*graph.NNSearcher, inst.M()),
 		isCand:    isCand,
@@ -154,7 +175,7 @@ func (ga *greedyAssign) satisfy(i, want int) {
 			continue
 		}
 		if ga.searchers[i] == nil {
-			ga.searchers[i] = graph.NewNNSearcher(ga.inst.G, ga.inst.Customers[i], ga.isCand)
+			ga.searchers[i] = graph.NewNNSearcherCtx(ga.ctx, ga.inst.G, ga.inst.Customers[i], ga.isCand)
 		}
 		node, _, ok := ga.searchers[i].Next()
 		if !ok {
@@ -167,7 +188,7 @@ func (ga *greedyAssign) satisfy(i, want int) {
 
 // greedyFinal assigns every customer to its nearest selected facility
 // with spare capacity, in a random processing order.
-func greedyFinal(inst *data.Instance, selection []int, rng *rand.Rand) (*data.Solution, error) {
+func greedyFinal(ctx context.Context, inst *data.Instance, selection []int, rng *rand.Rand) (*data.Solution, error) {
 	mask := make([]bool, inst.G.N())
 	nodeToSel := make(map[int32]int, len(selection))
 	for _, j := range selection {
@@ -178,7 +199,10 @@ func greedyFinal(inst *data.Instance, selection []int, rng *rand.Rand) (*data.So
 	assignment := make([]int, inst.M())
 	var objective int64
 	for _, i := range rng.Perm(inst.M()) {
-		s := graph.NewNNSearcher(inst.G, inst.Customers[i], mask)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s := graph.NewNNSearcherCtx(ctx, inst.G, inst.Customers[i], mask)
 		placed := false
 		for {
 			node, d, ok := s.Next()
@@ -195,6 +219,9 @@ func greedyFinal(inst *data.Instance, selection []int, rng *rand.Rand) (*data.So
 			}
 		}
 		if !placed {
+			if err := s.Err(); err != nil {
+				return nil, err
+			}
 			return nil, fmt.Errorf("baseline: naive final assignment failed for customer %d: %w", i, data.ErrInfeasible)
 		}
 	}

@@ -9,14 +9,14 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
-	"mcfs/internal/baseline"
-	"mcfs/internal/core"
+	"mcfs"
 	"mcfs/internal/data"
 	"mcfs/internal/gen"
 	"mcfs/internal/solver"
@@ -34,6 +34,19 @@ const (
 	AlgoBRNN    Algo = "brnn"
 	AlgoExact   Algo = "exact" // Gurobi stand-in (branch & bound)
 )
+
+// publicAlgo maps the row labels (the paper's naming) onto the public
+// registry, which provides the single dispatch point shared with the
+// commands; bench keeps its own labels because the emitted rows are
+// stable output.
+var publicAlgo = map[Algo]mcfs.Algorithm{
+	AlgoWMA:     mcfs.AlgorithmWMA,
+	AlgoUF:      mcfs.AlgorithmUniformFirst,
+	AlgoNaive:   mcfs.AlgorithmNaive,
+	AlgoHilbert: mcfs.AlgorithmHilbert,
+	AlgoBRNN:    mcfs.AlgorithmBRNN,
+	AlgoExact:   mcfs.AlgorithmExact,
+}
 
 // Row is one measured point of an experiment.
 type Row struct {
@@ -55,6 +68,11 @@ type Config struct {
 	// "timeout" — the analogue of the paper's 24-hour Gurobi cutoff.
 	// Zero means 15 seconds.
 	ExactBudget time.Duration
+	// AlgoTimeout bounds each heuristic-algorithm point with a context
+	// deadline; expiry is recorded as "timeout" (with no objective — the
+	// heuristics hold no incumbent mid-run). Zero means unlimited. The
+	// exact solver keeps its separate ExactBudget.
+	AlgoTimeout time.Duration
 	// Seed drives all data generation.
 	Seed int64
 	// SkipExact and SkipBRNN drop the slowest competitors (useful for
@@ -145,34 +163,33 @@ func scaleInts(base []int, scale float64) []int {
 // solution is re-verified from scratch; verification failures surface in
 // the note (they indicate bugs, not data properties).
 func runAlgo(exp, x string, xv float64, algo Algo, inst *data.Instance, cfg Config, seed int64, emit func(Row)) {
-	start := time.Now()
+	pub, known := publicAlgo[algo]
 	var sol *data.Solution
+	var note string
 	var err error
-	switch algo {
-	case AlgoWMA:
-		sol, err = core.Solve(inst, core.Options{})
-	case AlgoUF:
-		sol, err = core.SolveUniformFirst(inst, core.Options{})
-	case AlgoNaive:
-		sol, err = baseline.Naive(inst, seed, core.Options{})
-	case AlgoHilbert:
-		sol, err = baseline.Hilbert(inst, core.Options{})
-	case AlgoBRNN:
-		sol, err = baseline.BRNN(inst, core.Options{})
-	case AlgoExact:
-		var res *solver.Result
-		res, err = solver.BranchAndBound(inst, solver.Options{TimeBudget: cfg.ExactBudget})
-		if res != nil {
-			sol = res.Solution
-		}
-	default:
+	start := time.Now()
+	if !known {
 		err = fmt.Errorf("bench: unknown algorithm %q", algo)
+	} else {
+		opts := []mcfs.Option{mcfs.WithSeed(seed)}
+		if algo == AlgoExact {
+			opts = append(opts, mcfs.WithTimeBudget(cfg.ExactBudget))
+		} else if cfg.AlgoTimeout > 0 {
+			opts = append(opts, mcfs.WithTimeBudget(cfg.AlgoTimeout))
+		}
+		sol, note, err = pub.Solve(context.Background(), inst, opts...)
 	}
 	elapsed := time.Since(start)
 
+	// The registry reports an expired exact budget as a note on the
+	// incumbent; an expired AlgoTimeout surfaces as a context deadline
+	// error. Both are the paper's "solver cut off" outcome.
+	timedOut := note == "timeout (best incumbent)" ||
+		errors.Is(err, solver.ErrTimeout) || errors.Is(err, context.DeadlineExceeded)
+
 	row := Row{Exp: exp, X: x, XVal: xv, Algo: algo, Runtime: elapsed, Objective: -1}
 	switch {
-	case errors.Is(err, solver.ErrTimeout):
+	case timedOut:
 		// The incumbent at cutoff gets the same from-scratch verification
 		// as every completed result before its objective is trusted.
 		row.Note = "timeout"

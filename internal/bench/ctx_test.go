@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mcfs/internal/data"
+	"mcfs/internal/gen"
+)
+
+func ctxTestInstance(t *testing.T) *data.Instance {
+	t.Helper()
+	g, err := gen.Synthetic(gen.SyntheticConfig{N: 600, Clusters: 8, Alpha: 1.8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gen.LargestComponent(g)
+	rng := rand.New(rand.NewSource(8))
+	inst := &data.Instance{
+		G:          g,
+		Customers:  gen.SampleCustomersFrom(pool, 40, rng),
+		Facilities: gen.SampleFacilitiesFrom(pool, 20, rng, gen.UniformCapacity(5)),
+		K:          8,
+	}
+	if ok, _ := inst.Feasible(); !ok {
+		t.Fatal("fixture instance infeasible")
+	}
+	return inst
+}
+
+func collectRow(t *testing.T, algo Algo, inst *data.Instance, cfg Config) Row {
+	t.Helper()
+	var rows []Row
+	runAlgo("T", "x", 1, algo, inst, cfg.normalized(), 7, func(r Row) { rows = append(rows, r) })
+	if len(rows) != 1 {
+		t.Fatalf("runAlgo emitted %d rows, want 1", len(rows))
+	}
+	return rows[0]
+}
+
+func TestRunAlgoHeuristicTimeoutRow(t *testing.T) {
+	inst := ctxTestInstance(t)
+	for _, a := range []Algo{AlgoWMA, AlgoHilbert, AlgoNaive} {
+		row := collectRow(t, a, inst, Config{AlgoTimeout: time.Nanosecond})
+		if row.Note != "timeout" {
+			t.Fatalf("%s: Note = %q, want \"timeout\"", a, row.Note)
+		}
+		if row.Objective != -1 {
+			t.Fatalf("%s: Objective = %d, want -1 (heuristics hold no incumbent)", a, row.Objective)
+		}
+	}
+}
+
+func TestRunAlgoExactBudgetTimeoutRow(t *testing.T) {
+	inst := ctxTestInstance(t)
+	row := collectRow(t, AlgoExact, inst, Config{ExactBudget: time.Nanosecond})
+	if row.Note != "timeout" {
+		t.Fatalf("Note = %q, want \"timeout\" (the solver cannot finish within 1ns)", row.Note)
+	}
+}
+
+func TestRunAlgoNoTimeoutControl(t *testing.T) {
+	inst := ctxTestInstance(t)
+	row := collectRow(t, AlgoWMA, inst, Config{})
+	if row.Note != "" {
+		t.Fatalf("Note = %q, want \"\"", row.Note)
+	}
+	if row.Objective < 0 {
+		t.Fatalf("Objective = %d, want >= 0", row.Objective)
+	}
+}

@@ -1,13 +1,13 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
-	"mcfs/internal/baseline"
-	"mcfs/internal/core"
+	"mcfs"
 	"mcfs/internal/data"
 	"mcfs/internal/gen"
 	"mcfs/internal/solver"
@@ -81,23 +81,9 @@ func runQuality(cfg Config, emit func(Row)) error {
 				exact: time.Since(start),
 			}
 
-			run := func(a Algo) (*data.Solution, error) {
-				switch a {
-				case AlgoWMA:
-					return core.Solve(inst, core.Options{})
-				case AlgoUF:
-					return core.SolveUniformFirst(inst, core.Options{})
-				case AlgoHilbert:
-					return baseline.Hilbert(inst, core.Options{})
-				case AlgoNaive:
-					return baseline.Naive(inst, seed, core.Options{})
-				default:
-					return baseline.BRNN(inst, core.Options{})
-				}
-			}
 			for _, a := range algos {
 				start := time.Now()
-				sol, err := run(a)
+				sol, _, err := publicAlgo[a].Solve(context.Background(), inst, mcfs.WithSeed(seed))
 				res.times[a] = time.Since(start)
 				if err != nil {
 					return fmt.Errorf("quality batch %d, %s: %w", b, a, err)

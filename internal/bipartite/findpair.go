@@ -1,6 +1,10 @@
 package bipartite
 
-import "mcfs/internal/graph"
+import (
+	"context"
+
+	"mcfs/internal/graph"
+)
 
 // FindPair implements Algorithm 2 of the paper: it matches customer i to
 // exactly one additional facility, rewiring earlier assignments along
@@ -12,20 +16,45 @@ import "mcfs/internal/graph"
 // complete graph (every reachable facility is full or unreachable); the
 // matching is left unchanged in that case.
 func (mt *Matcher) FindPair(i int) bool {
+	matched, _ := mt.FindPairCtx(context.Background(), i)
+	return matched
+}
+
+// FindPairCtx is FindPair with cooperative cancellation: ctx is checked
+// once per augmenting-path search (each retry of the inner shortest
+// path) and propagated into the per-customer network searchers, which
+// poll it during long expansions. On cancellation it returns ctx.Err()
+// with the matching unchanged by this call; the matcher must not be
+// used afterwards (an interrupted searcher cannot be resumed). The
+// checkpoints never alter the search, so an uncancelled run is
+// byte-identical to FindPair.
+func (mt *Matcher) FindPairCtx(ctx context.Context, i int) (matched bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mt.ctx = ctx
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
 		best, bestFac, thr, argmin := mt.shortestPath(i)
 		if best <= thr {
 			if best >= graph.Inf {
-				return false
+				return false, nil
 			}
 			mt.augment(bestFac, best)
-			return true
+			return true, nil
 		}
 		// thr < best: an unmaterialized edge could yield a shorter path;
 		// add the minimizing customer's next nearest edge and retry. The
 		// threshold is finite only when that searcher has a next edge, so
-		// materialize cannot fail here.
-		mt.materialize(argmin)
+		// materialize only fails here when the searcher was cancelled
+		// mid-expansion.
+		if !mt.materialize(argmin) {
+			if serr := mt.searchers[argmin].Err(); serr != nil {
+				return false, serr
+			}
+		}
 	}
 }
 

@@ -18,6 +18,8 @@
 package bipartite
 
 import (
+	"context"
+
 	"mcfs/internal/data"
 	"mcfs/internal/graph"
 	"mcfs/internal/pq"
@@ -78,6 +80,13 @@ type Matcher struct {
 	// exhaustive disables the early-stop optimization (used by tests and
 	// the threshold ablation).
 	exhaustive bool
+
+	// ctx is the cooperative-cancellation context of the current
+	// FindPairCtx call; nil means no cancellation. It is installed on the
+	// per-customer searchers so their resumed network Dijkstras poll it
+	// too. A matcher that has returned a context error is poisoned: the
+	// interrupted searcher state cannot be resumed correctly.
+	ctx context.Context
 
 	// Scratch state for the inner shortest-path search, epoch-stamped so
 	// it needs no clearing between runs.
@@ -242,7 +251,9 @@ func (mt *Matcher) Stats() Stats { return mt.stats }
 
 func (mt *Matcher) searcher(i int) *graph.NNSearcher {
 	if mt.searchers[i] == nil {
-		mt.searchers[i] = graph.NewNNSearcher(mt.g, mt.custNodes[i], mt.isCand)
+		mt.searchers[i] = graph.NewNNSearcherCtx(mt.ctx, mt.g, mt.custNodes[i], mt.isCand)
+	} else {
+		mt.searchers[i].SetContext(mt.ctx)
 	}
 	return mt.searchers[i]
 }

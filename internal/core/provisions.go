@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,14 @@ import (
 // selection (network distance) and add the unselected candidate facility
 // nearest to it. This retains coverage and improves the cost objective.
 func SelectGreedy(inst *data.Instance, selection []int) []int {
+	sel, _ := SelectGreedyCtx(context.Background(), inst, selection)
+	return sel
+}
+
+// SelectGreedyCtx is SelectGreedy with cooperative cancellation: the
+// per-pick multi-source Dijkstra and nearest-candidate searches poll
+// ctx. On cancellation it returns nil and ctx.Err().
+func SelectGreedyCtx(ctx context.Context, inst *data.Instance, selection []int) ([]int, error) {
 	k, l := inst.K, inst.L()
 	if k > l {
 		k = l
@@ -42,7 +51,10 @@ func SelectGreedy(inst *data.Instance, selection []int) []int {
 			for i, j := range selection {
 				srcs[i] = inst.Facilities[j].Node
 			}
-			dist, _ := inst.G.MultiSourceDijkstra(srcs)
+			dist, _, err := inst.G.MultiSourceDijkstraCtx(ctx, srcs)
+			if err != nil {
+				return nil, err
+			}
 			best := int64(-1)
 			for _, s := range inst.Customers {
 				if dist[s] > best {
@@ -54,10 +66,13 @@ func SelectGreedy(inst *data.Instance, selection []int) []int {
 		// Nearest unselected candidate to that customer; fall back to an
 		// arbitrary unselected candidate if none is reachable.
 		fStar := -1
-		search := graph.NewNNSearcher(inst.G, sStar, mask)
+		search := graph.NewNNSearcherCtx(ctx, inst.G, sStar, mask)
 		if node, _, ok := search.Next(); ok {
 			fStar = nodeToFac[node]
 		} else {
+			if err := search.Err(); err != nil {
+				return nil, err
+			}
 			for j := range inst.Facilities {
 				if !selected[j] {
 					fStar = j
@@ -70,7 +85,7 @@ func SelectGreedy(inst *data.Instance, selection []int) []int {
 		mask[inst.Facilities[fStar].Node] = false
 		unselected--
 	}
-	return selection
+	return selection, nil
 }
 
 // CoverComponents implements Algorithm 5: it revises the selection so
@@ -82,6 +97,12 @@ func SelectGreedy(inst *data.Instance, selection []int) []int {
 // top-capacity facilities first) restores correctness; the instance is
 // known feasible at this point, so a covering selection always exists.
 func CoverComponents(inst *data.Instance, selection []int) ([]int, error) {
+	return CoverComponentsCtx(context.Background(), inst, selection)
+}
+
+// CoverComponentsCtx is CoverComponents with cooperative cancellation,
+// checked once per swap; on cancellation it returns nil and ctx.Err().
+func CoverComponentsCtx(ctx context.Context, inst *data.Instance, selection []int) ([]int, error) {
 	comp, count := inst.G.Components()
 	custCount := make([]int, count)
 	for _, s := range inst.Customers {
@@ -103,6 +124,9 @@ func CoverComponents(inst *data.Instance, selection []int) ([]int, error) {
 
 	maxSwaps := inst.L() + inst.K + 1
 	for swaps := 0; ; swaps++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		gm, gM := -1, -1
 		for g := 0; g < count; g++ {
 			if surplus[g] < 0 && (gm == -1 || surplus[g] < surplus[gm]) {

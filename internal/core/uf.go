@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"mcfs/internal/data"
@@ -15,6 +16,18 @@ import (
 // true capacities fall short. Falls back to the Direct strategy when the
 // uniformized instance is infeasible.
 func SolveUniformFirst(inst *data.Instance, opt Options) (*data.Solution, error) {
+	return SolveUniformFirstCtx(context.Background(), inst, opt)
+}
+
+// SolveUniformFirstCtx is SolveUniformFirst with cooperative
+// cancellation; the context is threaded through both the uniformized
+// and the true-capacity solve. On cancellation it returns nil and
+// ctx.Err() — never the Direct-strategy fallback, which is reserved for
+// genuine infeasibility of the uniformized instance.
+func SolveUniformFirstCtx(ctx context.Context, inst *data.Instance, opt Options) (*data.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -22,7 +35,7 @@ func SolveUniformFirst(inst *data.Instance, opt Options) (*data.Solution, error)
 		return nil, data.ErrInfeasible
 	}
 	if inst.L() == 0 || inst.M() == 0 {
-		return Solve(inst, opt)
+		return SolveCtx(ctx, inst, opt)
 	}
 	avg := (inst.TotalCapacity() + inst.L() - 1) / inst.L()
 	uniform := &data.Instance{
@@ -35,25 +48,30 @@ func SolveUniformFirst(inst *data.Instance, opt Options) (*data.Solution, error)
 		uniform.Facilities[j] = data.Facility{Node: f.Node, Capacity: avg}
 	}
 	if ok, _ := uniform.Feasible(); !ok {
-		return Solve(inst, opt)
+		return SolveCtx(ctx, inst, opt)
 	}
-	uniSol, err := Solve(uniform, opt)
+	uniSol, err := SolveCtx(ctx, uniform, opt)
 	if err != nil {
 		if errors.Is(err, data.ErrInfeasible) {
-			return Solve(inst, opt)
+			return SolveCtx(ctx, inst, opt)
 		}
 		return nil, err
 	}
 	// Re-validate the selection against the true capacities, repairing
-	// component shortfalls before the final matching.
-	selection, err := CoverComponents(inst, append([]int(nil), uniSol.Selected...))
+	// component shortfalls before the final matching. Cancellation must
+	// not be mistaken for a repair failure: a cancelled repair aborts the
+	// run instead of falling back to a full Direct solve.
+	selection, err := CoverComponentsCtx(ctx, inst, append([]int(nil), uniSol.Selected...))
 	if err != nil {
-		return Solve(inst, opt)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return SolveCtx(ctx, inst, opt)
 	}
-	sol, err := AssignToSelection(inst, selection, opt)
+	sol, err := AssignToSelectionCtx(ctx, inst, selection, opt)
 	if err != nil {
 		if errors.Is(err, data.ErrInfeasible) {
-			return Solve(inst, opt)
+			return SolveCtx(ctx, inst, opt)
 		}
 		return nil, err
 	}

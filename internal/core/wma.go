@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -84,6 +85,21 @@ var ErrIterationLimit = errors.New("wma: iteration limit exceeded")
 // minimized (heuristic) total distance. It returns data.ErrInfeasible
 // when no feasible solution exists.
 func Solve(inst *data.Instance, opt Options) (*data.Solution, error) {
+	return SolveCtx(context.Background(), inst, opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation: ctx is checked once
+// per WMA iteration, per augmenting-path search inside the matcher, and
+// every ~4096 heap pops of the underlying network searches. On
+// cancellation it returns nil and ctx.Err() — WMA holds no feasible
+// incumbent until its final assignment phase completes, so there is no
+// partial solution to salvage (unlike the exact solver's branch and
+// bound). The checkpoints never alter the algorithm, so an uncancelled
+// run produces output byte-identical to Solve.
+func SolveCtx(ctx context.Context, inst *data.Instance, opt Options) (*data.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,19 +121,19 @@ func Solve(inst *data.Instance, opt Options) (*data.Solution, error) {
 		}
 	} else {
 		var err error
-		selected, err = explore(inst, opt)
+		selected, err = explore(ctx, inst, opt)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return AssignToSelection(inst, selected, opt)
+	return AssignToSelectionCtx(ctx, inst, selected, opt)
 }
 
 // explore is the main loop of Algorithm 1: it grows customer demands,
 // maintains an optimal bipartite matching, and stops when the set-cover
 // heuristic finds k facilities covering all customers (or no further
 // progress is possible). It returns the selected facility indexes.
-func explore(inst *data.Instance, opt Options) ([]int, error) {
+func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, error) {
 	m, l, k := inst.M(), inst.L(), inst.K
 	mt := bipartite.New(inst.G, inst.Customers, inst.Facilities)
 	mt.SetExhaustive(opt.Exhaustive)
@@ -140,13 +156,20 @@ func explore(inst *data.Instance, opt Options) ([]int, error) {
 	var selection []int
 	var covered bool
 	for iter := 1; ; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if iter > maxIter {
 			return nil, fmt.Errorf("%w (%d iterations)", ErrIterationLimit, maxIter)
 		}
 		matchStart := time.Now()
 		for i := 0; i < m; i++ {
 			for !exhausted[i] && mt.MatchCount(i) < demand[i] {
-				if !mt.FindPair(i) {
+				ok, err := mt.FindPairCtx(ctx, i)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
 					exhausted[i] = true
 				}
 			}
@@ -198,11 +221,15 @@ func explore(inst *data.Instance, opt Options) ([]int, error) {
 	}
 
 	if len(selection) < k {
-		selection = SelectGreedy(inst, selection)
+		var err error
+		selection, err = SelectGreedyCtx(ctx, inst, selection)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !covered {
 		var err error
-		selection, err = CoverComponents(inst, selection)
+		selection, err = CoverComponentsCtx(ctx, inst, selection)
 		if err != nil {
 			return nil, err
 		}
@@ -217,6 +244,13 @@ func explore(inst *data.Instance, opt Options) ([]int, error) {
 // by WMA's final phase, the Hilbert and BRNN baselines, the exact
 // solver, and the Uniform-First strategy.
 func AssignToSelection(inst *data.Instance, selected []int, opt Options) (*data.Solution, error) {
+	return AssignToSelectionCtx(context.Background(), inst, selected, opt)
+}
+
+// AssignToSelectionCtx is AssignToSelection with cooperative
+// cancellation, checked per augmenting path; on cancellation it returns
+// nil and ctx.Err().
+func AssignToSelectionCtx(ctx context.Context, inst *data.Instance, selected []int, opt Options) (*data.Solution, error) {
 	m := inst.M()
 	subset := make([]data.Facility, len(selected))
 	for idx, j := range selected {
@@ -225,7 +259,11 @@ func AssignToSelection(inst *data.Instance, selected []int, opt Options) (*data.
 	mt := bipartite.New(inst.G, inst.Customers, subset)
 	mt.SetExhaustive(opt.Exhaustive)
 	for i := 0; i < m; i++ {
-		if !mt.FindPair(i) {
+		ok, err := mt.FindPairCtx(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			// Feasibility was verified and CoverComponents balanced every
 			// component, so this indicates an internal inconsistency.
 			return nil, fmt.Errorf("wma: final assignment failed for customer %d: %w", i, data.ErrInfeasible)

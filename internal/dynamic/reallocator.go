@@ -18,6 +18,7 @@
 package dynamic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -48,6 +49,7 @@ type Stats struct {
 
 // Reallocator maintains an MCFS solution under customer churn.
 type Reallocator struct {
+	ctx        context.Context // governs every operation; see SetContext
 	g          *graph.Graph
 	facilities []data.Facility // full candidate catalogue
 	k          int
@@ -69,6 +71,20 @@ type Reallocator struct {
 // New builds a Reallocator from an initial instance, performing one full
 // solve. The instance's customers become handles 0..m-1.
 func New(inst *data.Instance, opt Options) (*Reallocator, error) {
+	return NewCtx(context.Background(), inst, opt)
+}
+
+// NewCtx is New with cooperative cancellation. The context is retained
+// and governs the initial full solve and every subsequent operation on
+// the Reallocator (arrivals, rebuilds, drift-triggered re-selections);
+// rebind it with SetContext. When the context fires mid-operation the
+// method returns ctx.Err() and the running matching is marked stale, so
+// the next operation under a live context transparently rebuilds it —
+// the Reallocator itself stays usable.
+func NewCtx(ctx context.Context, inst *data.Instance, opt Options) (*Reallocator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -76,6 +92,7 @@ func New(inst *data.Instance, opt Options) (*Reallocator, error) {
 		opt.DriftFactor = 1.5
 	}
 	r := &Reallocator{
+		ctx:        ctx,
 		g:          inst.G,
 		facilities: inst.Facilities,
 		k:          inst.K,
@@ -102,16 +119,30 @@ func (r *Reallocator) instance() *data.Instance {
 	return &data.Instance{G: r.g, Customers: custs, Facilities: r.facilities, K: r.k}
 }
 
+// SetContext rebinds the context governing subsequent operations
+// (nil restores context.Background()). Use it to recover a Reallocator
+// whose previous context was cancelled or expired: the next operation
+// rebuilds any matching state the interrupted one left stale.
+func (r *Reallocator) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.ctx = ctx
+}
+
 // fullSolve re-selects facilities with WMA and rebuilds the matching.
 func (r *Reallocator) fullSolve() error {
 	inst := r.instance()
-	sol, err := core.Solve(inst, r.opt.Core)
+	sol, err := core.SolveCtx(r.ctx, inst, r.opt.Core)
 	if err != nil {
 		return err
 	}
 	r.selected = sol.Selected
 	r.stats.FullSolves++
 	if err := r.rebuild(); err != nil {
+		// The new selection is installed but unmatched; force a rebuild on
+		// the next operation.
+		r.pendingRm = true
 		return err
 	}
 	r.baseObjective = r.mt.TotalMatchedCost()
@@ -132,7 +163,11 @@ func (r *Reallocator) rebuild() error {
 	mt := bipartite.New(r.g, custs, subset)
 	mt.SetExhaustive(r.opt.Core.Exhaustive)
 	for i := range custs {
-		if !mt.FindPair(i) {
+		ok, err := mt.FindPairCtx(r.ctx, i)
+		if err != nil {
+			return err // r.mt untouched; pendingRm stays set for a retry
+		}
+		if !ok {
 			return fmt.Errorf("dynamic: customer %d unservable by open facilities: %w", r.order[i], data.ErrInfeasible)
 		}
 	}
@@ -177,7 +212,15 @@ func (r *Reallocator) AddCustomer(node int32) (int, error) {
 
 	idx := r.mt.AddCustomer(node)
 	r.handleOf = append(r.handleOf, h)
-	if !r.mt.FindPair(idx) {
+	ok, err := r.mt.FindPairCtx(r.ctx, idx)
+	if err != nil {
+		// Cancelled mid-assignment: roll the newcomer back and force a
+		// rebuild so the matcher drops its unmatched stub.
+		r.dropHandle(h)
+		r.pendingRm = true
+		return 0, err
+	}
+	if !ok {
 		// Selection saturated: re-select with the newcomer included.
 		if err := r.fullSolve(); err != nil {
 			// Admission failed entirely: roll the newcomer back and force

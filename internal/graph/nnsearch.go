@@ -1,6 +1,10 @@
 package graph
 
-import "mcfs/internal/pq"
+import (
+	"context"
+
+	"mcfs/internal/pq"
+)
 
 // NNSearcher enumerates candidate nodes in nondecreasing shortest-path
 // distance from a fixed source, resuming a persistent Dijkstra instance
@@ -22,6 +26,14 @@ type NNSearcher struct {
 	peekDist int64
 	hasPeek  bool
 
+	// ctx, when non-nil, is polled every checkEvery heap pops of the
+	// resumed Dijkstra; on cancellation the searcher stops, records
+	// ctx.Err() in err, and reports exhaustion. A cancelled searcher is
+	// poisoned: the interrupted expansion cannot be resumed correctly.
+	ctx  context.Context
+	err  error
+	pops int
+
 	settledCount int // diagnostic: nodes settled so far
 }
 
@@ -29,10 +41,18 @@ type NNSearcher struct {
 // in isCand. The isCand slice is shared (not copied); it must not change
 // while the searcher is in use.
 func NewNNSearcher(g *Graph, src int32, isCand []bool) *NNSearcher {
+	return NewNNSearcherCtx(nil, g, src, isCand)
+}
+
+// NewNNSearcherCtx is NewNNSearcher with a cooperative-cancellation
+// context installed before the initial candidate prefetch, so even the
+// first expansion is interruptible. A nil ctx disables polling.
+func NewNNSearcherCtx(ctx context.Context, g *Graph, src int32, isCand []bool) *NNSearcher {
 	s := &NNSearcher{
 		g:      g,
 		src:    src,
 		isCand: isCand,
+		ctx:    ctx,
 		dist:   map[int32]int64{src: 0},
 		heap:   pq.NewSparse(),
 	}
@@ -43,6 +63,17 @@ func NewNNSearcher(g *Graph, src int32, isCand []bool) *NNSearcher {
 
 // Source returns the searcher's source node.
 func (s *NNSearcher) Source() int32 { return s.src }
+
+// SetContext installs a cooperative-cancellation context on the
+// searcher: subsequent advances poll it every checkEvery heap pops. A
+// nil ctx disables the polling (the initial state). Once a searcher has
+// observed a cancellation it stays exhausted; see Err.
+func (s *NNSearcher) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// Err returns the context error that interrupted the searcher, or nil.
+// When non-nil, Peek/Next report exhaustion without the search space
+// actually being exhausted, and the searcher must not be reused.
+func (s *NNSearcher) Err() error { return s.err }
 
 // Peek returns the next candidate node and its distance without
 // consuming it; ok is false once the search space is exhausted.
@@ -78,7 +109,16 @@ func (s *NNSearcher) Settled() int { return s.settledCount }
 // settled, storing it as the new peek.
 func (s *NNSearcher) advance() {
 	s.hasPeek = false
+	if s.err != nil {
+		return
+	}
 	for s.heap.Len() > 0 {
+		if s.pops++; s.pops&(checkEvery-1) == 0 && s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				s.err = err
+				return
+			}
+		}
 		v, d := s.heap.PopMin()
 		if d > s.dist[v] {
 			continue // stale entry

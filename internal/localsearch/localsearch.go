@@ -10,6 +10,7 @@
 package localsearch
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -40,6 +41,20 @@ type Stats struct {
 // is exhausted. It returns the improved solution (possibly sol itself
 // when no move helps) and search statistics.
 func Improve(inst *data.Instance, sol *data.Solution, opt Options) (*data.Solution, Stats, error) {
+	return ImproveCtx(context.Background(), inst, sol, opt)
+}
+
+// ImproveCtx is Improve with cooperative cancellation, checked before
+// every candidate swap evaluation. Unlike the construction heuristics,
+// local search always holds a verified feasible incumbent (the input
+// solution or the best accepted swap so far), so on cancellation it
+// returns that incumbent together with ctx.Err() — callers can keep the
+// polish achieved up to the cut. An uncancelled run is byte-identical
+// to Improve.
+func ImproveCtx(ctx context.Context, inst *data.Instance, sol *data.Solution, opt Options) (*data.Solution, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st Stats
 	if err := inst.Validate(); err != nil {
 		return nil, st, err
@@ -68,12 +83,18 @@ func Improve(inst *data.Instance, sol *data.Solution, opt Options) (*data.Soluti
 		order := byLoad(best)
 		for _, out := range order {
 			for _, in := range nearbyCandidates(inst, out, selected, opt.CandidatesPerFacility) {
+				if err := ctx.Err(); err != nil {
+					return best, st, err
+				}
 				trial := swap(best.Selected, out, in)
 				st.Evaluated++
-				cand, err := core.AssignToSelection(inst, trial, opt.Core)
+				cand, err := core.AssignToSelectionCtx(ctx, inst, trial, opt.Core)
 				if err != nil {
 					if errors.Is(err, data.ErrInfeasible) {
 						continue // swap breaks capacity coverage; skip
+					}
+					if ctx.Err() != nil {
+						return best, st, err
 					}
 					return nil, st, err
 				}

@@ -16,6 +16,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/big"
@@ -27,8 +28,20 @@ import (
 )
 
 // ErrTimeout is returned by BranchAndBound when the time budget expires
-// before optimality is proven.
+// before optimality is proven. When the budget is enforced through a
+// context deadline, the returned error wraps both ErrTimeout and
+// context.DeadlineExceeded, so errors.Is matches either.
 var ErrTimeout = errors.New("solver: time budget exhausted")
+
+// timeoutErr maps a context deadline expiry onto the package's ErrTimeout
+// contract while preserving the context error for errors.Is chains; plain
+// cancellations pass through unchanged.
+func timeoutErr(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return err
+}
 
 // ErrTooLarge is returned by Exhaustive when the number of subsets to
 // enumerate exceeds its limit.
@@ -38,6 +51,17 @@ var ErrTooLarge = errors.New("solver: instance too large for exhaustive enumerat
 // C(ℓ, min(k,ℓ)) facility subsets. It refuses instances with more than
 // maxSubsets combinations (default 1e6 when maxSubsets <= 0).
 func Exhaustive(inst *data.Instance, maxSubsets int64) (*data.Solution, error) {
+	return ExhaustiveCtx(context.Background(), inst, maxSubsets)
+}
+
+// ExhaustiveCtx is Exhaustive with cooperative cancellation, checked
+// before each subset's assignment solve. On cancellation it returns the
+// best solution found so far (nil when none) alongside ctx.Err(); an
+// uncancelled run is byte-identical to Exhaustive.
+func ExhaustiveCtx(ctx context.Context, inst *data.Instance, maxSubsets int64) (*data.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,10 +92,16 @@ func Exhaustive(inst *data.Instance, maxSubsets int64) (*data.Solution, error) {
 	}
 	var best *data.Solution
 	for {
-		sol, err := core.AssignToSelection(inst, append([]int(nil), subset...), core.Options{})
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
+		sol, err := core.AssignToSelectionCtx(ctx, inst, append([]int(nil), subset...), core.Options{})
 		if err == nil && (best == nil || sol.Objective < best.Objective) {
 			best = sol
 		} else if err != nil && !errors.Is(err, data.ErrInfeasible) {
+			if ctx.Err() != nil {
+				return best, err
+			}
 			return nil, err
 		}
 		// Next combination in lexicographic order.
@@ -121,6 +151,23 @@ type Result struct {
 // included one), the bound is attained and the node closes with an
 // incumbent update.
 func BranchAndBound(inst *data.Instance, opt Options) (*Result, error) {
+	return BranchAndBoundCtx(context.Background(), inst, opt)
+}
+
+// BranchAndBoundCtx is BranchAndBound with cooperative cancellation. A
+// positive Options.TimeBudget is enforced as a context deadline layered
+// on top of ctx; when it expires the returned error wraps both
+// ErrTimeout and context.DeadlineExceeded. On any cancellation the
+// search stops promptly — ctx is checked per frontier node and inside
+// every relaxation solve — and, exactly as on a time budget expiry, the
+// best verified incumbent found so far is returned alongside the error
+// (Result.Optimal is false); when no incumbent exists yet the Result is
+// nil. An uncancelled, unexpired run is byte-identical to
+// BranchAndBound.
+func BranchAndBoundCtx(ctx context.Context, inst *data.Instance, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -130,30 +177,34 @@ func BranchAndBound(inst *data.Instance, opt Options) (*Result, error) {
 	if inst.M() == 0 {
 		return &Result{Solution: &data.Solution{Selected: []int{}, Assignment: []int{}}, Optimal: true}, nil
 	}
+	if opt.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeBudget)
+		defer cancel()
+	}
 	l := inst.L()
 	k := inst.K
 	if k >= l {
-		sol, err := core.AssignToSelection(inst, allIndexes(l), core.Options{})
+		sol, err := core.AssignToSelectionCtx(ctx, inst, allIndexes(l), core.Options{})
 		if err != nil {
-			return nil, err
+			return nil, timeoutErr(err)
 		}
 		return &Result{Solution: sol, Optimal: true}, nil
 	}
 
-	deadline := time.Time{}
-	if opt.TimeBudget > 0 {
-		deadline = time.Now().Add(opt.TimeBudget)
-	}
-	s := &search{inst: inst, k: k, opt: opt, deadline: deadline}
+	s := &search{ctx: ctx, inst: inst, k: k, opt: opt}
 	// Warm start: seed the incumbent with the WMA heuristic, exactly as
 	// MIP solvers accept a starting solution. This sharpens pruning and
 	// guarantees that a timed-out search never reports worse than the
 	// heuristic. Exactness is unaffected.
-	if warm, err := core.Solve(inst, core.Options{}); err == nil {
+	if warm, err := core.SolveCtx(ctx, inst, core.Options{}); err == nil {
 		s.incumbent = warm
 	}
 	root := &node{excluded: make([]bool, l), included: nil}
 	if err := s.evaluate(root); err != nil && !errors.Is(err, data.ErrInfeasible) {
+		if ctx.Err() != nil {
+			return s.finish(timeoutErr(err))
+		}
 		return nil, err
 	}
 	if root.infeasible {
@@ -161,8 +212,8 @@ func BranchAndBound(inst *data.Instance, opt Options) (*Result, error) {
 	}
 	s.frontier = append(s.frontier, root)
 	for len(s.frontier) > 0 {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return s.finish(ErrTimeout)
+		if err := ctx.Err(); err != nil {
+			return s.finish(timeoutErr(err))
 		}
 		if opt.NodeLimit > 0 && s.nodes >= opt.NodeLimit {
 			return s.finish(fmt.Errorf("solver: node limit %d reached", opt.NodeLimit))
@@ -172,6 +223,9 @@ func BranchAndBound(inst *data.Instance, opt Options) (*Result, error) {
 			continue
 		}
 		if err := s.branch(n); err != nil {
+			if ctx.Err() != nil {
+				return s.finish(timeoutErr(err))
+			}
 			return nil, err
 		}
 	}
@@ -190,10 +244,10 @@ type node struct {
 }
 
 type search struct {
+	ctx       context.Context
 	inst      *data.Instance
 	k         int
 	opt       Options
-	deadline  time.Time
 	frontier  []*node // best-first by bound (simple slice scan: trees stay small)
 	incumbent *data.Solution
 	nodes     int
@@ -223,7 +277,7 @@ func (s *search) evaluate(n *node) error {
 			open = append(open, j)
 		}
 	}
-	relaxed, err := core.AssignToSelection(s.inst, open, core.Options{})
+	relaxed, err := core.AssignToSelectionCtx(s.ctx, s.inst, open, core.Options{})
 	if err != nil {
 		if errors.Is(err, data.ErrInfeasible) {
 			n.infeasible = true
@@ -319,7 +373,7 @@ func (s *search) dive(n *node, relaxed *data.Solution) {
 		selected = append(selected, j)
 	}
 	sort.Ints(selected)
-	sol, err := core.AssignToSelection(s.inst, selected, core.Options{})
+	sol, err := core.AssignToSelectionCtx(s.ctx, s.inst, selected, core.Options{})
 	if err != nil {
 		return
 	}
@@ -341,7 +395,7 @@ func (s *search) branch(n *node) error {
 		}
 		if len(inc.included) == s.k {
 			// Fully determined selection: evaluate exactly.
-			sol, err := core.AssignToSelection(s.inst, append([]int(nil), inc.included...), core.Options{})
+			sol, err := core.AssignToSelectionCtx(s.ctx, s.inst, append([]int(nil), inc.included...), core.Options{})
 			s.nodes++
 			if err == nil {
 				if s.incumbent == nil || sol.Objective < s.incumbent.Objective {

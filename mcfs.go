@@ -38,6 +38,7 @@
 package mcfs
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"time"
@@ -89,7 +90,10 @@ func NewGraphBuilder(n int, directed bool) *GraphBuilder {
 	return graph.NewBuilder(n, directed)
 }
 
-// Option tunes the solvers.
+// Option tunes the solvers. Not every option affects every solver; each
+// option documents where it applies (see also the option × solver table
+// in DESIGN.md §9). Passing an inapplicable option is harmless — it is
+// ignored.
 type Option func(*options)
 
 type options struct {
@@ -100,44 +104,64 @@ type options struct {
 	seed       int64
 }
 
-// WithProgress installs a per-iteration callback on WMA runs (the paper's
-// Fig. 12b statistics: covered customers, matching time, set-cover time).
+// WithProgress installs a per-iteration callback on runs of the WMA main
+// loop (the paper's Fig. 12b statistics: covered customers, matching
+// time, set-cover time). Applies to Solve and SolveUniformFirst (which
+// run WMA directly). It has no effect on SolveHilbert, SolveBRNN,
+// SolveNaive, SolveExact, SolveExhaustive, AssignToSelection, Improve,
+// or NewReallocator — none of those run the instrumented loop (the exact
+// solver's WMA warm start is deliberately silent).
 func WithProgress(fn func(IterationStats)) Option {
 	return func(o *options) { o.core.Progress = fn }
 }
 
 // WithRaiseAllDemands switches WMA to raising every customer's demand
 // each iteration instead of only uncovered ones (an ablation of the
-// paper's §IV-F policy).
+// paper's §IV-F policy). Applies to Solve, SolveUniformFirst and the
+// WMA re-selections inside NewReallocator; other solvers ignore it.
 func WithRaiseAllDemands() Option {
 	return func(o *options) { o.core.Demand = core.DemandAll }
 }
 
 // WithArbitraryTieBreak disables the least-recently-used diversification
-// in the set-cover heuristic (ablation).
+// in the set-cover heuristic (ablation). Applies to Solve,
+// SolveUniformFirst, SolveNaive and NewReallocator — the solvers that
+// run CheckCover; other solvers ignore it.
 func WithArbitraryTieBreak() Option {
 	return func(o *options) { o.core.TieBreak = core.TieArbitrary }
 }
 
 // WithExhaustiveMatching disables the matcher's early-stop optimization;
 // results are identical, only more of the residual graph is scanned
-// (ablation/diagnostics).
+// (ablation/diagnostics). Applies to every solver that runs the optimal
+// bipartite matching: all except SolveNaive (whose point is to replace
+// that matching with a greedy one).
 func WithExhaustiveMatching() Option {
 	return func(o *options) { o.core.Exhaustive = true }
 }
 
-// WithTimeBudget bounds the exact solver's wall-clock time; on expiry
-// SolveExact returns its best incumbent and solver.ErrTimeout.
+// WithTimeBudget bounds a solve's wall-clock time. On SolveExact the
+// budget is the branch-and-bound deadline: on expiry it returns its best
+// incumbent alongside an error matching both ErrTimeout and
+// context.DeadlineExceeded. On every other solver (and on the Ctx
+// variants) the budget is sugar for a context deadline layered onto the
+// caller's context: on expiry the solve stops promptly and returns
+// context.DeadlineExceeded, with the incumbent semantics of the solver
+// at hand (see "Timeouts & cancellation" in the README).
 func WithTimeBudget(d time.Duration) Option {
 	return func(o *options) { o.timeBudget = d }
 }
 
-// WithNodeLimit bounds the exact solver's search-tree size.
+// WithNodeLimit bounds the exact solver's search-tree size. Applies to
+// SolveExact only; other solvers have no notion of search nodes and
+// ignore it.
 func WithNodeLimit(n int) Option {
 	return func(o *options) { o.nodeLimit = n }
 }
 
-// WithSeed seeds the randomized Naive baseline.
+// WithSeed seeds the randomized Naive baseline. Applies to SolveNaive
+// only — every other solver in the package is deterministic by
+// construction and ignores it.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
 }
@@ -150,40 +174,98 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// deadlineCtx layers the WithTimeBudget deadline (when set) onto the
+// caller's context for the heuristic solvers; the returned cancel must
+// always be called to release the timer.
+func (o options) deadlineCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.timeBudget > 0 {
+		return context.WithTimeout(ctx, o.timeBudget)
+	}
+	return ctx, func() {}
+}
+
 // Solve runs the Wide Matching Algorithm — the paper's primary
 // contribution — and returns a feasible solution, or ErrInfeasible.
 func Solve(inst *Instance, opts ...Option) (*Solution, error) {
+	return SolveCtx(context.Background(), inst, opts...)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the solve polls ctx
+// throughout (per WMA iteration, per augmenting path, and inside long
+// network searches) and returns promptly with ctx.Err() when it fires.
+// WMA holds no feasible solution until its final assignment phase
+// completes, so a cancelled run returns a nil Solution. An uncancelled
+// run is byte-identical to Solve. WithTimeBudget adds a deadline to ctx.
+func SolveCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
 	o := buildOptions(opts)
-	return core.Solve(inst, o.core)
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return core.SolveCtx(ctx, inst, o.core)
 }
 
 // SolveUniformFirst runs WMA with the Uniform-First strategy (§VII-F):
 // facility locations are first chosen as if all capacities equaled the
 // average, then the assignment is rebuilt under the true capacities.
 func SolveUniformFirst(inst *Instance, opts ...Option) (*Solution, error) {
+	return SolveUniformFirstCtx(context.Background(), inst, opts...)
+}
+
+// SolveUniformFirstCtx is SolveUniformFirst with cooperative
+// cancellation; cancellation semantics match SolveCtx (nil Solution and
+// ctx.Err(); cancellation never triggers the Direct-strategy fallback).
+func SolveUniformFirstCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
 	o := buildOptions(opts)
-	return core.SolveUniformFirst(inst, o.core)
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return core.SolveUniformFirstCtx(ctx, inst, o.core)
 }
 
 // SolveHilbert runs the Hilbert space-filling-curve bucketing baseline.
 // The network must carry coordinates.
 func SolveHilbert(inst *Instance, opts ...Option) (*Solution, error) {
+	return SolveHilbertCtx(context.Background(), inst, opts...)
+}
+
+// SolveHilbertCtx is SolveHilbert with cooperative cancellation;
+// cancellation semantics match SolveCtx (nil Solution and ctx.Err()).
+func SolveHilbertCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
 	o := buildOptions(opts)
-	return baseline.Hilbert(inst, o.core)
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return baseline.HilbertCtx(ctx, inst, o.core)
 }
 
 // SolveBRNN runs the iterative bichromatic-reverse-nearest-neighbor
 // (MaxSum) placement baseline.
 func SolveBRNN(inst *Instance, opts ...Option) (*Solution, error) {
+	return SolveBRNNCtx(context.Background(), inst, opts...)
+}
+
+// SolveBRNNCtx is SolveBRNN with cooperative cancellation; cancellation
+// semantics match SolveCtx (nil Solution and ctx.Err()).
+func SolveBRNNCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
 	o := buildOptions(opts)
-	return baseline.BRNN(inst, o.core)
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return baseline.BRNNCtx(ctx, inst, o.core)
 }
 
 // SolveNaive runs WMA Naïve: the WMA loop with greedy, no-rewiring
 // assignment. Seed it with WithSeed for reproducibility.
 func SolveNaive(inst *Instance, opts ...Option) (*Solution, error) {
+	return SolveNaiveCtx(context.Background(), inst, opts...)
+}
+
+// SolveNaiveCtx is SolveNaive with cooperative cancellation;
+// cancellation semantics match SolveCtx (nil Solution and ctx.Err()).
+func SolveNaiveCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
 	o := buildOptions(opts)
-	return baseline.Naive(inst, o.seed, o.core)
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return baseline.NaiveCtx(ctx, inst, o.seed, o.core)
 }
 
 // ExactResult reports an exact solve: the solution, the number of
@@ -196,7 +278,8 @@ type ExactResult struct {
 }
 
 // ErrTimeout is returned by SolveExact when its time budget expires; the
-// accompanying ExactResult still carries the best incumbent found.
+// accompanying ExactResult still carries the best incumbent found. The
+// error also matches context.DeadlineExceeded under errors.Is.
 var ErrTimeout = solver.ErrTimeout
 
 // SolveExact computes the optimal solution by branch and bound — this
@@ -205,8 +288,19 @@ var ErrTimeout = solver.ErrTimeout
 // it with WithTimeBudget/WithNodeLimit to reproduce the "solver fails"
 // regime.
 func SolveExact(inst *Instance, opts ...Option) (*ExactResult, error) {
+	return SolveExactCtx(context.Background(), inst, opts...)
+}
+
+// SolveExactCtx is SolveExact with cooperative cancellation. Unlike the
+// heuristics, the branch-and-bound search holds a verified incumbent
+// from its warm start onwards, so a cancelled run returns the best
+// incumbent found so far (Optimal false) alongside ctx.Err() — exactly
+// the contract of a WithTimeBudget expiry, whose error additionally
+// matches ErrTimeout. The ExactResult is nil only when cancellation
+// struck before any incumbent existed.
+func SolveExactCtx(ctx context.Context, inst *Instance, opts ...Option) (*ExactResult, error) {
 	o := buildOptions(opts)
-	res, err := solver.BranchAndBound(inst, solver.Options{
+	res, err := solver.BranchAndBoundCtx(ctx, inst, solver.Options{
 		TimeBudget: o.timeBudget,
 		NodeLimit:  o.nodeLimit,
 	})
@@ -220,15 +314,31 @@ func SolveExact(inst *Instance, opts ...Option) (*ExactResult, error) {
 // for tiny instances; maxSubsets <= 0 means the default 1e6 cap). Used
 // as the ground-truth yardstick in tests and sanity runs.
 func SolveExhaustive(inst *Instance, maxSubsets int64) (*Solution, error) {
-	return solver.Exhaustive(inst, maxSubsets)
+	return SolveExhaustiveCtx(context.Background(), inst, maxSubsets)
+}
+
+// SolveExhaustiveCtx is SolveExhaustive with cooperative cancellation,
+// checked between subsets. Like SolveExactCtx it returns the best
+// solution found before the cut (nil when none) alongside ctx.Err().
+func SolveExhaustiveCtx(ctx context.Context, inst *Instance, maxSubsets int64) (*Solution, error) {
+	return solver.ExhaustiveCtx(ctx, inst, maxSubsets)
 }
 
 // AssignToSelection computes the optimal assignment of all customers to
 // a fixed facility selection (indexes into inst.Facilities) — the
 // building block for custom selection strategies.
 func AssignToSelection(inst *Instance, selected []int, opts ...Option) (*Solution, error) {
+	return AssignToSelectionCtx(context.Background(), inst, selected, opts...)
+}
+
+// AssignToSelectionCtx is AssignToSelection with cooperative
+// cancellation, checked per augmenting path; a cancelled run returns a
+// nil Solution and ctx.Err(). WithTimeBudget adds a deadline to ctx.
+func AssignToSelectionCtx(ctx context.Context, inst *Instance, selected []int, opts ...Option) (*Solution, error) {
 	o := buildOptions(opts)
-	return core.AssignToSelection(inst, selected, o.core)
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return core.AssignToSelectionCtx(ctx, inst, selected, o.core)
 }
 
 // --- generators -----------------------------------------------------------
@@ -367,8 +477,18 @@ type ReallocatorStats = dynamic.Stats
 // drift before a full re-selection; 0 picks the default 1.5, negative
 // disables drift-triggered re-solves.
 func NewReallocator(inst *Instance, driftFactor float64, opts ...Option) (*Reallocator, error) {
+	return NewReallocatorCtx(context.Background(), inst, driftFactor, opts...)
+}
+
+// NewReallocatorCtx is NewReallocator with cooperative cancellation. The
+// context is retained by the Reallocator and governs the initial full
+// solve and every later operation (arrivals, rebuilds, re-selections);
+// rebind it with the Reallocator's SetContext. A cancelled operation
+// returns ctx.Err() and marks the matching stale; the next operation
+// under a live context rebuilds it, so the Reallocator stays usable.
+func NewReallocatorCtx(ctx context.Context, inst *Instance, driftFactor float64, opts ...Option) (*Reallocator, error) {
 	o := buildOptions(opts)
-	return dynamic.New(inst, dynamic.Options{Core: o.core, DriftFactor: driftFactor})
+	return dynamic.NewCtx(ctx, inst, dynamic.Options{Core: o.core, DriftFactor: driftFactor})
 }
 
 // --- rendering --------------------------------------------------------------
@@ -397,8 +517,20 @@ type ImproveStats = localsearch.Stats
 // maxMoves 0 picks the default budget of 2·k. The returned solution is
 // never worse than the input.
 func Improve(inst *Instance, sol *Solution, maxMoves int, opts ...Option) (*Solution, ImproveStats, error) {
+	return ImproveCtx(context.Background(), inst, sol, maxMoves, opts...)
+}
+
+// ImproveCtx is Improve with cooperative cancellation, checked before
+// every candidate swap. Local search always holds a verified feasible
+// incumbent (the input or the best accepted swap so far), so a
+// cancelled run returns that incumbent alongside ctx.Err() — the polish
+// achieved up to the cut is kept. WithTimeBudget adds a deadline to
+// ctx, turning the search into an anytime polish pass.
+func ImproveCtx(ctx context.Context, inst *Instance, sol *Solution, maxMoves int, opts ...Option) (*Solution, ImproveStats, error) {
 	o := buildOptions(opts)
-	return localsearch.Improve(inst, sol, localsearch.Options{MaxMoves: maxMoves, Core: o.core})
+	ctx, cancel := o.deadlineCtx(ctx)
+	defer cancel()
+	return localsearch.ImproveCtx(ctx, inst, sol, localsearch.Options{MaxMoves: maxMoves, Core: o.core})
 }
 
 // --- DIMACS road-network interchange ----------------------------------------

@@ -15,4 +15,16 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Smoke-run every example in quick mode. They run in a scratch dir so
+# the artifacts some of them write (SVG/GeoJSON) stay out of the tree.
+exdir=$(mktemp -d)
+trap 'rm -rf "$exdir"' EXIT
+go build -o "$exdir" ./examples/...
+for ex in examples/*/; do
+	name=$(basename "$ex")
+	echo "example: $name"
+	(cd "$exdir" && MCFS_EXAMPLE_QUICK=1 "./$name" >/dev/null)
+done
+
 echo "ci: OK"
