@@ -1,11 +1,13 @@
-// Package cmd_test builds the three CLI binaries and exercises their
-// end-to-end pipelines: generate → solve → bench report.
+// Package cmd_test builds the CLI binaries and exercises their
+// end-to-end pipelines: generate → solve → bench report, plus the
+// mcfslint static-analysis gate.
 package cmd_test
 
 import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -18,7 +20,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"mcfsgen", "mcfscli", "mcfsbench", "mcfscompare"} {
+	for _, tool := range []string{"mcfsgen", "mcfscli", "mcfsbench", "mcfscompare", "mcfslint"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -147,5 +149,83 @@ func TestCompareTool(t *testing.T) {
 		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
 			t.Fatalf("export %s missing or empty", f)
 		}
+	}
+}
+
+// lintSeeds is one minimal violation per mcfslint rule, written into a
+// scratch module-shaped tree at the path each path-scoped rule expects.
+var lintSeeds = []struct {
+	rule string
+	path string
+	src  string
+}{
+	{"ctx-checkpoint", "internal/solver/seed.go",
+		"package solver\n\nimport \"context\"\n\nfunc spin(ctx context.Context, n int) {\n\tfor n > 0 {\n\t\tn--\n\t}\n}\n"},
+	{"api-parity", "seed.go",
+		"package mcfs\n\nimport \"context\"\n\nfunc SolveSeed(x int) int { return x * 2 }\n\nfunc SolveSeedCtx(ctx context.Context, x int) int { return x * 2 }\n"},
+	{"determinism", "internal/core/seed.go",
+		"package core\n\nimport \"time\"\n\nfunc now() time.Time { return time.Now() }\n"},
+	{"closecheck", "cmd/seedtool/main.go",
+		"package main\n\nimport \"os\"\n\nfunc main() {\n\tf, err := os.Create(\"x\")\n\tif err != nil {\n\t\treturn\n\t}\n\tf.Close()\n}\n"},
+	{"nakedgoroutine", "internal/graph/seed.go",
+		"package graph\n\nfunc spawn(work func()) {\n\tgo work()\n}\n"},
+}
+
+// TestLintSeededViolations is the acceptance check for mcfslint: on a
+// clean scratch tree it exits 0; seeding any single violation from each
+// rule makes it exit non-zero with a file:line: rule: message
+// diagnostic.
+func TestLintSeededViolations(t *testing.T) {
+	for _, seed := range lintSeeds {
+		t.Run(seed.rule, func(t *testing.T) {
+			root := t.TempDir()
+			full := filepath.Join(root, filepath.FromSlash(seed.path))
+			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(full, []byte(seed.src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cmd := exec.Command(filepath.Join(binDir, "mcfslint"), "-C", root, "./...")
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("mcfslint exited 0 on a seeded %s violation:\n%s", seed.rule, out)
+			}
+			if _, ok := err.(*exec.ExitError); !ok {
+				t.Fatalf("mcfslint did not run: %v\n%s", err, out)
+			}
+			diag := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(seed.path) + `:\d+: ` + regexp.QuoteMeta(seed.rule) + `: .+$`)
+			if !diag.Match(out) {
+				t.Fatalf("no %q diagnostic in file:line: rule: message form:\n%s", seed.rule, out)
+			}
+		})
+	}
+}
+
+func TestLintCleanTreeAndJSON(t *testing.T) {
+	root := t.TempDir()
+	clean := "package ok\n\nfunc Add(a, b int) int { return a + b }\n"
+	if err := os.MkdirAll(filepath.Join(root, "internal", "ok"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "internal", "ok", "ok.go"), []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "mcfslint", "-C", root, "./...")
+	if strings.Contains(out, ": ") && strings.Contains(out, ".go:") {
+		t.Fatalf("findings on a clean tree:\n%s", out)
+	}
+	out = run(t, "mcfslint", "-C", root, "-json", "./...")
+	if !strings.Contains(out, "[]") {
+		t.Fatalf("-json on a clean tree should emit an empty array:\n%s", out)
+	}
+}
+
+// TestLintRealModule runs the built analyzer over the repository
+// itself: the tree must stay lint-clean.
+func TestLintRealModule(t *testing.T) {
+	out := run(t, "mcfslint", "-C", "..", "./...")
+	if !strings.Contains(out, "0 finding(s)") {
+		t.Fatalf("module tree is not lint-clean:\n%s", out)
 	}
 }

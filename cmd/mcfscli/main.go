@@ -48,6 +48,7 @@ func main() {
 		fatal(err)
 	}
 	inst, err := mcfs.ReadInstance(f)
+	//lint:ignore closecheck read path: the file is only read, and a parse error dominates any close error
 	f.Close()
 	if err != nil {
 		fatal(err)

@@ -41,6 +41,7 @@ func main() {
 		fatal(err)
 	}
 	inst, err := mcfs.ReadInstance(f)
+	//lint:ignore closecheck read path: the file is only read, and a parse error dominates any close error
 	f.Close()
 	if err != nil {
 		fatal(err)
@@ -126,13 +127,14 @@ func writeExport(path string, fn func(*os.File) error) {
 	if err != nil {
 		fatal(err)
 	}
-	if err := fn(f); err != nil {
-		f.Close()
-		fatal(err)
-	}
 	// A failed Close can be the only sign of a short write; the "wrote"
-	// confirmation must not print in that case.
-	if err := f.Close(); err != nil {
+	// confirmation must not print in that case. Close exactly once, on
+	// both paths, and report whichever of write/close failed first.
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Println("wrote", path)

@@ -175,6 +175,7 @@ func loadDIMACS(p genParams) (*mcfs.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore closecheck read path: DIMACS input is only read; parse errors dominate
 	defer grF.Close()
 	var coR io.Reader
 	if p.co != "" {
@@ -182,6 +183,7 @@ func loadDIMACS(p genParams) (*mcfs.Graph, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:ignore closecheck read path: DIMACS input is only read; parse errors dominate
 		defer coF.Close()
 		coR = coF
 	}

@@ -162,6 +162,7 @@ func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, erro
 		if iter > maxIter {
 			return nil, fmt.Errorf("%w (%d iterations)", ErrIterationLimit, maxIter)
 		}
+		//lint:ignore determinism IterationStats timing for the Progress callback; never feeds back into the algorithm
 		matchStart := time.Now()
 		for i := 0; i < m; i++ {
 			for !exhausted[i] && mt.MatchCount(i) < demand[i] {
@@ -176,6 +177,7 @@ func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, erro
 		}
 		matchTime := time.Since(matchStart)
 
+		//lint:ignore determinism IterationStats timing for the Progress callback; never feeds back into the algorithm
 		coverStart := time.Now()
 		var deltaD []bool
 		selection, deltaD, covered = CheckCover(mt, k, lastUsed, opt.TieBreak)

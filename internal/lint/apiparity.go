@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// APIParity enforces the PR-2 API contract in the root package: an
+// exported Solve*/Improve*/New* function that has a *Ctx sibling is a
+// convenience wrapper and must contain no logic of its own — its body
+// must be exactly `return FooCtx(context.Background(), ...)`. Anything
+// else lets the two entry points drift apart (an option handled in one
+// but not the other, a deadline layered twice), which is precisely the
+// class of bug a wrapper pair invites.
+type APIParity struct{}
+
+// Name implements Rule.
+func (APIParity) Name() string { return "api-parity" }
+
+// Doc implements Rule.
+func (APIParity) Doc() string {
+	return "exported Solve*/Improve*/New* with a *Ctx sibling must delegate to it with context.Background()"
+}
+
+// apiParityPrefixes are the entry-point families the rule covers.
+var apiParityPrefixes = []string{"Solve", "Improve", "New"}
+
+// Check implements Rule.
+func (APIParity) Check(pkg *Package, report ReportFunc) {
+	if pkg.Dir != "." {
+		return
+	}
+	funcs := make(map[string]*ast.FuncDecl)
+	fileOf := make(map[string]*File)
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			funcs[fd.Name.Name] = fd
+			fileOf[fd.Name.Name] = f
+		}
+	}
+
+	names := make([]string, 0, len(funcs))
+	for name := range funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !ast.IsExported(name) || strings.HasSuffix(name, "Ctx") || !hasParityPrefix(name) {
+			continue
+		}
+		if _, ok := funcs[name+"Ctx"]; !ok {
+			continue
+		}
+		if !delegatesToCtx(funcs[name], name+"Ctx") {
+			report(fileOf[name], funcs[name].Pos(),
+				"%s has a %sCtx sibling but is not the single-statement wrapper `return %sCtx(context.Background(), ...)`",
+				name, name, name)
+		}
+	}
+}
+
+// hasParityPrefix reports whether name belongs to a covered family.
+func hasParityPrefix(name string) bool {
+	for _, p := range apiParityPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// delegatesToCtx reports whether fd's body is exactly
+// `return want(context.Background(), ...)`.
+func delegatesToCtx(fd *ast.FuncDecl, want string) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != want {
+		return false
+	}
+	bg, ok := call.Args[0].(*ast.CallExpr)
+	if !ok || len(bg.Args) != 0 {
+		return false
+	}
+	sel, ok := bg.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Background" {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == "context"
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "go/ast"
+
+// isPkgSel reports whether sel is the qualified identifier pkg.name
+// (e.g. time.Now). Purely syntactic: a local variable shadowing the
+// package name would fool it, which the codebase avoids by convention.
+func isPkgSel(sel *ast.SelectorExpr, pkg, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	return ok && x.Name == pkg
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxCheckpoint enforces the PR-2 cancellation contract: inside the
+// solver packages, every while-style loop (`for {` / `for cond {` — the
+// loops whose trip count depends on data, not on a bounded index) in a
+// function that takes a context.Context must either poll that context
+// or delegate to a *Ctx helper that does. Bounded three-clause and
+// range loops are exempt: the contract is "no unbounded work between
+// checkpoints", not "a poll on every iteration of everything".
+type CtxCheckpoint struct{}
+
+// Name implements Rule.
+func (CtxCheckpoint) Name() string { return "ctx-checkpoint" }
+
+// Doc implements Rule.
+func (CtxCheckpoint) Doc() string {
+	return "while-style loops in context-taking solver functions must poll the context or call a Ctx helper"
+}
+
+// ctxCheckpointDirs is the rule's scope: the packages PR 2 threaded
+// cancellation through. Pure data/render/bench layers are out of scope.
+var ctxCheckpointDirs = map[string]bool{
+	"internal/graph":       true,
+	"internal/bipartite":   true,
+	"internal/core":        true,
+	"internal/solver":      true,
+	"internal/localsearch": true,
+	"internal/baseline":    true,
+	"internal/dynamic":     true,
+}
+
+// Check implements Rule.
+func (CtxCheckpoint) Check(pkg *Package, report ReportFunc) {
+	if !ctxCheckpointDirs[pkg.Dir] {
+		return
+	}
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCtxFunc(f, fd.Type, fd.Body, nil, report)
+			}
+		}
+	}
+}
+
+// checkCtxFunc walks one function body with the context parameter names
+// visible in its scope (the enclosing functions' plus its own — a
+// closure may checkpoint through a captured context).
+func checkCtxFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer []string, report ReportFunc) {
+	names := append(append([]string(nil), outer...), ctxParamNames(ft)...)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkCtxFunc(f, n.Type, n.Body, names, report)
+			return false
+		case *ast.ForStmt:
+			if len(names) > 0 && n.Init == nil && n.Post == nil && !mentionsCtx(n.Body, names) {
+				report(f, n.Pos(),
+					"while-style loop in a context-taking function never polls the context; add a ctx.Err() checkpoint or delegate to a Ctx helper (see DESIGN.md §9)")
+			}
+		}
+		return true
+	})
+}
+
+// ctxParamNames returns the names of ft's context.Context parameters.
+func ctxParamNames(ft *ast.FuncType) []string {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var names []string
+	for _, field := range ft.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "context" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				names = append(names, name.Name)
+			}
+		}
+	}
+	return names
+}
+
+// mentionsCtx reports whether body references one of the in-scope
+// context parameters or calls a *Ctx-suffixed helper (which by the
+// module's naming convention takes and polls a context itself).
+func mentionsCtx(body *ast.BlockStmt, names []string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if strings.HasSuffix(id.Name, "Ctx") && id.Name != "Ctx" {
+			found = true
+			return false
+		}
+		for _, name := range names {
+			if id.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Determinism enforces the harness's byte-identical-output contract in
+// non-test library code (the root package and everything under
+// internal/): no time.Now in solver code (wall clock readings leak into
+// results; internal/bench is exempt because measured runtime *is* its
+// output), no package-global math/rand functions (unseeded, and shared
+// mutable state across goroutines — every random choice must flow from
+// an explicit seeded *rand.Rand), and no ranging over a map where the
+// body appends to a slice or writes output (Go randomizes map iteration
+// order, so the result ordering would differ run to run; iterate a
+// sorted key slice instead).
+type Determinism struct{}
+
+// Name implements Rule.
+func (Determinism) Name() string { return "determinism" }
+
+// Doc implements Rule.
+func (Determinism) Doc() string {
+	return "no time.Now / global math/rand / order-sensitive map iteration in non-test library code"
+}
+
+// globalRandFuncs are the package-level math/rand functions that draw
+// from the shared unseeded source. Constructors (New, NewSource,
+// NewZipf) are the sanctioned alternative and stay allowed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// orderSensitiveCalls are callee names that make a map-iteration body
+// order-sensitive: growing a slice or emitting output.
+var orderSensitiveCalls = map[string]bool{
+	"append": true,
+	"Write":  true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// Check implements Rule.
+func (Determinism) Check(pkg *Package, report ReportFunc) {
+	if pkg.Dir != "." && !strings.HasPrefix(pkg.Dir, "internal/") {
+		return
+	}
+	banTimeNow := pkg.Dir != "internal/bench"
+	idx := indexPackageMaps(pkg)
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if banTimeNow && isPkgSel(n, "time", "Now") {
+					report(f, n.Pos(),
+						"time.Now is nondeterministic solver input; take timings in the bench layer (internal/bench is exempt) or annotate the instrumentation")
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if x, ok := sel.X.(*ast.Ident); ok && x.Name == "rand" && globalRandFuncs[sel.Sel.Name] {
+						report(f, n.Pos(),
+							"global rand.%s draws from the shared unseeded source; use a seeded *rand.Rand", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapRanges(f, fd, idx, report)
+			}
+		}
+	}
+}
+
+// pkgMapIndex is the package-local knowledge used to recognize
+// map-typed expressions without type information: struct fields, named
+// function/method results, and package-level variables of map type.
+type pkgMapIndex struct {
+	fields map[string]bool // struct field names declared with a map type
+	funcs  map[string]bool // funcs/methods whose first result is a map
+	vars   map[string]bool // package-level vars of map type
+}
+
+// indexPackageMaps scans every file of the package (tests included —
+// a helper defined in a test file can flow into scope decisions).
+func indexPackageMaps(pkg *Package) pkgMapIndex {
+	idx := pkgMapIndex{
+		fields: make(map[string]bool),
+		funcs:  make(map[string]bool),
+		vars:   make(map[string]bool),
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Type.Results != nil && len(d.Type.Results.List) > 0 {
+					if isMapType(d.Type.Results.List[0].Type) {
+						idx.funcs[d.Name.Name] = true
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, field := range st.Fields.List {
+								if isMapType(field.Type) {
+									for _, name := range field.Names {
+										idx.fields[name.Name] = true
+									}
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						if isMapType(s.Type) {
+							for _, name := range s.Names {
+								idx.vars[name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// checkMapRanges reports order-sensitive map iterations inside fd.
+func checkMapRanges(f *File, fd *ast.FuncDecl, idx pkgMapIndex, report ReportFunc) {
+	local := make(map[string]bool)
+	addParams := func(ft *ast.FuncType) {
+		for _, field := range ft.Params.List {
+			if isMapType(field.Type) {
+				for _, name := range field.Names {
+					local[name.Name] = true
+				}
+			}
+		}
+	}
+	addParams(fd.Type)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			addParams(n.Type)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && isMapExprLiteral(rhs) {
+						local[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if isMapType(n.Type) {
+				for _, name := range n.Names {
+					local[name.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if isMapExpr(rng.X, local, idx) && hasOrderSensitiveEffect(rng.Body) && !sortedAfter(fd.Body, rng) {
+			report(f, rng.Pos(),
+				"iterating a map while appending or writing output is order-nondeterministic; range over a sorted key slice (or sort what you collected before using it)")
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether the function calls into package sort
+// after the range loop ends — the collect-then-sort idiom, which is the
+// sanctioned way to turn a map into a deterministic sequence and must
+// not be flagged.
+func sortedAfter(body *ast.BlockStmt, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if x, ok := sel.X.(*ast.Ident); ok && x.Name == "sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapExprLiteral recognizes the two in-function ways a map value is
+// born: make(map[...]...) and a map composite literal.
+func isMapExprLiteral(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return isMapType(e.Args[0])
+		}
+	case *ast.CompositeLit:
+		return isMapType(e.Type)
+	}
+	return false
+}
+
+// isMapExpr reports whether e is, by the package-local evidence, a map:
+// a tracked local/param/package var, a field declared with map type
+// anywhere in the package, or a call to a map-returning package
+// function.
+func isMapExpr(e ast.Expr, local map[string]bool, idx pkgMapIndex) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return local[e.Name] || idx.vars[e.Name]
+	case *ast.SelectorExpr:
+		return idx.fields[e.Sel.Name]
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			return idx.funcs[fun.Name]
+		case *ast.SelectorExpr:
+			return idx.funcs[fun.Sel.Name]
+		}
+	}
+	return false
+}
+
+// hasOrderSensitiveEffect reports whether body appends to a slice or
+// writes output.
+func hasOrderSensitiveEffect(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if orderSensitiveCalls[fun.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if orderSensitiveCalls[fun.Sel.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMapType reports whether the type expression is a map type.
+func isMapType(t ast.Expr) bool {
+	_, ok := t.(*ast.MapType)
+	return ok
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// NakedGoroutine keeps concurrency confined to joinable structure: a
+// `go` statement is only allowed when the enclosing top-level function
+// visibly joins its goroutines — a sync.WaitGroup Wait() or a channel
+// receive in scope. The one sanctioned exception is the bench harness's
+// worker pool (internal/bench/parallel.go), whose goroutines are joined
+// across function boundaries by pool.drain; every other fire-and-forget
+// goroutine is a leak or a race waiting for the next refactor.
+type NakedGoroutine struct{}
+
+// Name implements Rule.
+func (NakedGoroutine) Name() string { return "nakedgoroutine" }
+
+// Doc implements Rule.
+func (NakedGoroutine) Doc() string {
+	return "no `go` statement without a WaitGroup/channel join in the enclosing function (parallel.go excepted)"
+}
+
+// nakedGoroutineExempt names the files whose goroutines are joined
+// across function boundaries by design.
+var nakedGoroutineExempt = map[string]bool{
+	"internal/bench/parallel.go": true,
+}
+
+// Check implements Rule.
+func (NakedGoroutine) Check(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		if nakedGoroutineExempt[f.Path] {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			joined := hasJoin(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok && !joined {
+					report(f, g.Pos(),
+						"goroutine without a visible join (no WaitGroup Wait or channel receive in the enclosing function); fire-and-forget work outlives its caller")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hasJoin reports whether body contains a join point: a .Wait() call or
+// a channel receive (including `for range ch`, which parses as a range
+// — any receive expression counts).
+func hasJoin(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

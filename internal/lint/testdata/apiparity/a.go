@@ -1,0 +1,52 @@
+// Package fixture exercises the api-parity rule (checked as if it were
+// the module root package).
+package fixture
+
+import "context"
+
+// Correct wrapper: single-statement delegation with context.Background.
+func SolveGood(x int) (int, error) {
+	return SolveGoodCtx(context.Background(), x)
+}
+
+// SolveGoodCtx is the context-taking sibling.
+func SolveGoodCtx(ctx context.Context, x int) (int, error) { return x, ctx.Err() }
+
+// Extra logic before delegating: the wrappers can drift apart.
+func SolveBad(x int) (int, error) { // want "single-statement wrapper"
+	x++
+	return SolveBadCtx(context.Background(), x)
+}
+
+// SolveBadCtx is the context-taking sibling.
+func SolveBadCtx(ctx context.Context, x int) (int, error) { return x, nil }
+
+// context.TODO is not the sanctioned delegation.
+func ImproveTodo(x int) error { // want "single-statement wrapper"
+	return ImproveTodoCtx(context.TODO(), x)
+}
+
+// ImproveTodoCtx is the context-taking sibling.
+func ImproveTodoCtx(ctx context.Context, x int) error { return nil }
+
+// Reimplementing instead of delegating.
+func NewThing(x int) int { // want "single-statement wrapper"
+	return x * 2
+}
+
+// NewThingCtx is the context-taking sibling.
+func NewThingCtx(ctx context.Context, x int) int { return x * 2 }
+
+// No Ctx sibling: out of scope.
+func NewPlain(x int) int { return x + 1 }
+
+// Unexported: out of scope.
+func solveSmall(x int) int { return x }
+
+func solveSmallCtx(ctx context.Context, x int) int { return x }
+
+// Outside the Solve*/Improve*/New* families: out of scope.
+func RenderThing(x int) int { return x }
+
+// RenderThingCtx is the context-taking sibling.
+func RenderThingCtx(ctx context.Context, x int) int { return x }

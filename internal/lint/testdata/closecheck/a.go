@@ -1,0 +1,77 @@
+// Package fixture exercises the closecheck rule (checked as if it
+// lived under cmd/).
+package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func bare(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "hello")
+	f.Close() // want "discarded"
+	return nil
+}
+
+func deferred(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // want "discards its error"
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}
+
+func checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, "hello"); err != nil {
+		//lint:ignore closecheck the write error dominates; close is best-effort cleanup here
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func param(f *os.File) {
+	f.Close() // want "discarded"
+}
+
+func alias(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	w := f
+	w.Close() // want "discarded"
+	return nil
+}
+
+func closure(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	fn := func() {
+		f.Close() // want "discarded"
+	}
+	fn()
+}
+
+// Not an *os.File by any local evidence: out of scope.
+type fakeFile struct{}
+
+func (fakeFile) Close() {}
+
+func notAFile() {
+	var f fakeFile
+	f.Close()
+}

@@ -1,0 +1,76 @@
+// Package fixture exercises the ctx-checkpoint rule (checked as if it
+// lived in internal/solver).
+package fixture
+
+import "context"
+
+func bad(ctx context.Context, n int) int {
+	total := 0
+	for total < n { // want "never polls the context"
+		total++
+	}
+	return total
+}
+
+func badInfinite(ctx context.Context) {
+	for { // want "never polls the context"
+	}
+}
+
+func goodPoll(ctx context.Context, n int) (int, error) {
+	total := 0
+	for total < n {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total++
+	}
+	return total, nil
+}
+
+func goodDelegate(ctx context.Context, n int) int {
+	v := 0
+	for v < n {
+		v += helperCtx(ctx)
+	}
+	return v
+}
+
+func helperCtx(ctx context.Context) int { return 1 }
+
+// Bounded three-clause and range loops are out of the rule's scope.
+func boundedOK(ctx context.Context, xs []int) int {
+	t := 0
+	for i := 0; i < len(xs); i++ {
+		t += xs[i]
+	}
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// No context parameter: out of scope.
+func noCtx(n int) {
+	for n > 0 {
+		n--
+	}
+}
+
+// Closures inherit the enclosing function's context scope.
+func closure(ctx context.Context, n int) {
+	fn := func() {
+		for n > 0 { // want "never polls the context"
+			n--
+		}
+	}
+	fn()
+}
+
+func suppressed(ctx context.Context, n int) int {
+	//lint:ignore ctx-checkpoint bounded in practice: n is a tiny constant at every call site
+	for n > 0 {
+		n--
+	}
+	return n
+}

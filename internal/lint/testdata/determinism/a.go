@@ -1,0 +1,99 @@
+// Package fixture exercises the determinism rule (checked as if it
+// lived in internal/core).
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func timing() time.Time {
+	return time.Now() // want "time.Now"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle"
+}
+
+func seededOK(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func mapAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "order-nondeterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+func mapPrint(m map[int]string) {
+	for k := range m { // want "order-nondeterministic"
+		fmt.Println(k)
+	}
+}
+
+// The sanctioned fix: collect, sort, then use.
+func collectThenSort(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Order-insensitive aggregation over a map is fine.
+func mapReduceOK(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func localMake() []int {
+	m := make(map[int]int)
+	var out []int
+	for k := range m { // want "order-nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+type holder struct {
+	idx map[string]int
+}
+
+func fieldRange(h holder, w io.Writer) {
+	for k := range h.idx { // want "order-nondeterministic"
+		fmt.Fprintln(w, k)
+	}
+}
+
+func returnsMap() map[int]int { return nil }
+
+func callRange() []int {
+	var out []int
+	for k := range returnsMap() { // want "order-nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+func suppressed(m map[int]string) []string {
+	var out []string
+	//lint:ignore determinism the caller sorts; kept as a fixture of the suppression syntax
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

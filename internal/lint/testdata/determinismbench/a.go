@@ -1,0 +1,8 @@
+// Package fixture exercises the determinism rule's bench exemption
+// (checked as if it lived in internal/bench, where measured wall-clock
+// time is the product and time.Now is therefore allowed).
+package fixture
+
+import "time"
+
+func now() time.Time { return time.Now() }

@@ -1,0 +1,17 @@
+// Package fixture exercises //lint:ignore directive hygiene: stale,
+// malformed, and unknown directives are findings of their own. The
+// expectations live in lint_test.go rather than in want comments,
+// because the directive itself occupies the line.
+package fixture
+
+//lint:ignore determinism stale suppression with nothing beneath it
+var a = 1
+
+//lint:ignore nosuchrule some reason
+var b = 2
+
+//lint:ignore determinism
+var c = 3
+
+//lint:frobnicate whatever
+var d = 4

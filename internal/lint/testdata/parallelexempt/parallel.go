@@ -1,0 +1,9 @@
+// Package fixture exercises the nakedgoroutine exemption for the bench
+// harness's worker pool: the test maps this file to
+// internal/bench/parallel.go, where goroutines are joined across
+// function boundaries by pool.drain.
+package fixture
+
+func spawn(work func()) {
+	go work()
+}

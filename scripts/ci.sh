@@ -5,15 +5,22 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-fmt=$(gofmt -l .)
+fmt=$(gofmt -l -s .)
 if [ -n "$fmt" ]; then
-	echo "gofmt needed on:" >&2
+	echo "gofmt -s needed on:" >&2
 	echo "$fmt" >&2
 	exit 1
 fi
 
 go vet ./...
 go build ./...
+
+# Project static analysis (DESIGN.md §10): machine-checks the
+# concurrency/cancellation/determinism invariants. Non-zero on any
+# finding; the tool prints its own runtime in the summary line so a
+# slow rule shows up in CI output.
+go run ./cmd/mcfslint ./...
+
 go test -race ./...
 
 # Smoke-run every example in quick mode. They run in a scratch dir so
