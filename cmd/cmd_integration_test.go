@@ -154,21 +154,31 @@ func TestCompareTool(t *testing.T) {
 
 // lintSeeds is one minimal violation per mcfslint rule, written into a
 // scratch module-shaped tree at the path each path-scoped rule expects.
+// path names the file the diagnostic must point at; files carries the
+// whole scratch tree (the shared-instance-mutation seed needs a go.mod
+// and a sibling package so the typed loader can resolve the instance
+// type).
 var lintSeeds = []struct {
-	rule string
-	path string
-	src  string
+	rule  string
+	path  string
+	files map[string]string
 }{
-	{"ctx-checkpoint", "internal/solver/seed.go",
-		"package solver\n\nimport \"context\"\n\nfunc spin(ctx context.Context, n int) {\n\tfor n > 0 {\n\t\tn--\n\t}\n}\n"},
-	{"api-parity", "seed.go",
-		"package mcfs\n\nimport \"context\"\n\nfunc SolveSeed(x int) int { return x * 2 }\n\nfunc SolveSeedCtx(ctx context.Context, x int) int { return x * 2 }\n"},
-	{"determinism", "internal/core/seed.go",
-		"package core\n\nimport \"time\"\n\nfunc now() time.Time { return time.Now() }\n"},
-	{"closecheck", "cmd/seedtool/main.go",
-		"package main\n\nimport \"os\"\n\nfunc main() {\n\tf, err := os.Create(\"x\")\n\tif err != nil {\n\t\treturn\n\t}\n\tf.Close()\n}\n"},
-	{"nakedgoroutine", "internal/graph/seed.go",
-		"package graph\n\nfunc spawn(work func()) {\n\tgo work()\n}\n"},
+	{"ctx-checkpoint", "internal/solver/seed.go", map[string]string{
+		"internal/solver/seed.go": "package solver\n\nimport \"context\"\n\nfunc spin(ctx context.Context, n int) {\n\tfor n > 0 {\n\t\tn--\n\t}\n}\n"}},
+	{"api-parity", "seed.go", map[string]string{
+		"seed.go": "package mcfs\n\nimport \"context\"\n\nfunc SolveSeed(x int) int { return x * 2 }\n\nfunc SolveSeedCtx(ctx context.Context, x int) int { return x * 2 }\n"}},
+	{"determinism", "internal/core/seed.go", map[string]string{
+		"internal/core/seed.go": "package core\n\nimport \"time\"\n\nfunc now() time.Time { return time.Now() }\n"}},
+	{"closecheck", "cmd/seedtool/main.go", map[string]string{
+		"cmd/seedtool/main.go": "package main\n\nimport \"os\"\n\nfunc main() {\n\tf, err := os.Create(\"x\")\n\tif err != nil {\n\t\treturn\n\t}\n\tf.Close()\n}\n"}},
+	{"nakedgoroutine", "internal/graph/seed.go", map[string]string{
+		"internal/graph/seed.go": "package graph\n\nfunc spawn(work func()) {\n\tgo work()\n}\n"}},
+	{"ctx-propagation", "internal/core/seed.go", map[string]string{
+		"internal/core/seed.go": "package core\n\nimport \"context\"\n\nfunc fanout(ctx context.Context, fn func(context.Context) error) error {\n\treturn fn(context.Background())\n}\n"}},
+	{"shared-instance-mutation", "internal/bench/seed.go", map[string]string{
+		"go.mod":                 "module scratch\n\ngo 1.22\n",
+		"internal/data/data.go":  "package data\n\ntype Instance struct {\n\tCustomers []int64\n\tK         int\n}\n",
+		"internal/bench/seed.go": "package bench\n\nimport \"scratch/internal/data\"\n\ntype pool struct{ work []func() }\n\nfunc (p *pool) cell(fn func()) { p.work = append(p.work, fn) }\n\nfunc sweep(p *pool, inst *data.Instance) {\n\tp.cell(func() {\n\t\tinst.K = 3\n\t})\n}\n"}},
 }
 
 // TestLintSeededViolations is the acceptance check for mcfslint: on a
@@ -179,12 +189,14 @@ func TestLintSeededViolations(t *testing.T) {
 	for _, seed := range lintSeeds {
 		t.Run(seed.rule, func(t *testing.T) {
 			root := t.TempDir()
-			full := filepath.Join(root, filepath.FromSlash(seed.path))
-			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
-				t.Fatal(err)
-			}
-			if err := os.WriteFile(full, []byte(seed.src), 0o644); err != nil {
-				t.Fatal(err)
+			for rel, src := range seed.files {
+				full := filepath.Join(root, filepath.FromSlash(rel))
+				if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+					t.Fatal(err)
+				}
 			}
 			cmd := exec.Command(filepath.Join(binDir, "mcfslint"), "-C", root, "./...")
 			out, err := cmd.CombinedOutput()
@@ -199,6 +211,30 @@ func TestLintSeededViolations(t *testing.T) {
 				t.Fatalf("no %q diagnostic in file:line: rule: message form:\n%s", seed.rule, out)
 			}
 		})
+	}
+}
+
+// TestLintTypedFlagGate: the typed-only rules are silent with
+// -typed=false — the escape hatch trades their findings for a load that
+// never type-checks.
+func TestLintTypedFlagGate(t *testing.T) {
+	seed := lintSeeds[len(lintSeeds)-1]
+	if seed.rule != "shared-instance-mutation" {
+		t.Fatal("seed table changed; update the index")
+	}
+	root := t.TempDir()
+	for rel, src := range seed.files {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := run(t, "mcfslint", "-C", root, "-typed=false", "./...")
+	if strings.Contains(out, "shared-instance-mutation") {
+		t.Fatalf("typed-only rule fired under -typed=false:\n%s", out)
 	}
 }
 

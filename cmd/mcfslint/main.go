@@ -6,12 +6,22 @@
 //	mcfslint ./...
 //	mcfslint -json ./...          # machine-readable findings
 //	mcfslint -rules closecheck ./cmd/...
+//	mcfslint -typed=false ./...   # syntactic-only escape hatch
 //	mcfslint -list                # print the rule catalogue
 //
+// By default the tree is type-checked (stdlib go/types; in-module
+// imports resolved from source, the standard library from GOROOT/src)
+// and rules use resolved objects and static types. -typed=false skips
+// type-checking and runs the original syntactic heuristics — faster,
+// and the only mode that works on a tree that doesn't type-check.
+// Typed-only rules (ctx-propagation, shared-instance-mutation) are
+// silent in that mode.
+//
 // Findings print one per line as "file:line: rule: message" on stdout;
-// a summary with the analyzer's own runtime goes to stderr (CI records
-// it so a slow rule is noticed). Exit status is 1 when there are
-// findings, 2 on usage or parse errors, 0 on a clean tree.
+// a summary with the analyzer's own runtime goes to stderr, followed
+// by a per-rule timing line with -timing (CI records the summary so a
+// slow rule is noticed). Exit status is 1 when there are findings, 2 on
+// usage or parse errors, 0 on a clean tree.
 package main
 
 import (
@@ -31,6 +41,8 @@ func main() {
 		rulesFlag = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 		chdir     = flag.String("C", ".", "module root to resolve package patterns against")
 		list      = flag.Bool("list", false, "list the rules and exit")
+		typed     = flag.Bool("typed", true, "type-check the tree so rules can use go/types info")
+		timing    = flag.Bool("timing", false, "print per-rule wall-clock timings to stderr")
 	)
 	flag.Parse()
 
@@ -59,12 +71,22 @@ func main() {
 	}
 
 	start := time.Now()
-	pkgs, err := lint.Load(*chdir, flag.Args()...)
+	load := lint.Load
+	if *typed {
+		load = lint.LoadTyped
+	}
+	pkgs, err := load(*chdir, flag.Args()...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcfslint:", err)
 		os.Exit(2)
 	}
-	findings := lint.Run(pkgs, rules)
+	loadElapsed := time.Since(start)
+	for _, p := range pkgs {
+		for _, msg := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "mcfslint: type error (rules fall back to syntax where affected): %s\n", msg)
+		}
+	}
+	findings, ruleTimes := lint.RunTimed(pkgs, rules)
 	elapsed := time.Since(start)
 
 	if *jsonOut {
@@ -87,8 +109,17 @@ func main() {
 	for _, p := range pkgs {
 		files += len(p.Files)
 	}
-	fmt.Fprintf(os.Stderr, "mcfslint: %d finding(s) in %d files, %d rules, %s\n",
-		len(findings), files, len(rules), elapsed.Round(time.Millisecond))
+	mode := "typed"
+	if !*typed {
+		mode = "syntactic"
+	}
+	fmt.Fprintf(os.Stderr, "mcfslint: %d finding(s) in %d files, %d rules, %s (%s, load %s)\n",
+		len(findings), files, len(rules), elapsed.Round(time.Millisecond), mode, loadElapsed.Round(time.Millisecond))
+	if *timing {
+		for _, rt := range ruleTimes {
+			fmt.Fprintf(os.Stderr, "mcfslint: rule %-26s %s\n", rt.Rule, rt.Elapsed.Round(10*time.Microsecond))
+		}
+	}
 	if len(findings) > 0 {
 		os.Exit(1)
 	}

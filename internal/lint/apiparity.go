@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -13,6 +14,12 @@ import (
 // else lets the two entry points drift apart (an option handled in one
 // but not the other, a deadline layered twice), which is precisely the
 // class of bug a wrapper pair invites.
+//
+// With type information the wrapper shape is verified semantically: the
+// callee must resolve to the package-level *Ctx sibling (a local
+// variable shadowing it no longer passes) and the first argument must
+// resolve to the real context.Background (a local helper named
+// `context.Background` behind a renamed import no longer does).
 type APIParity struct{}
 
 // Name implements Rule.
@@ -59,7 +66,7 @@ func (APIParity) Check(pkg *Package, report ReportFunc) {
 		if _, ok := funcs[name+"Ctx"]; !ok {
 			continue
 		}
-		if !delegatesToCtx(funcs[name], name+"Ctx") {
+		if !delegatesToCtx(pkg, funcs[name], name+"Ctx") {
 			report(fileOf[name], funcs[name].Pos(),
 				"%s has a %sCtx sibling but is not the single-statement wrapper `return %sCtx(context.Background(), ...)`",
 				name, name, name)
@@ -78,8 +85,11 @@ func hasParityPrefix(name string) bool {
 }
 
 // delegatesToCtx reports whether fd's body is exactly
-// `return want(context.Background(), ...)`.
-func delegatesToCtx(fd *ast.FuncDecl, want string) bool {
+// `return want(context.Background(), ...)`. With type information the
+// callee must resolve to the package-level sibling and the first
+// argument to the real context.Background; without it the check is by
+// spelling.
+func delegatesToCtx(pkg *Package, fd *ast.FuncDecl, want string) bool {
 	if fd.Body == nil || len(fd.Body.List) != 1 {
 		return false
 	}
@@ -95,9 +105,19 @@ func delegatesToCtx(fd *ast.FuncDecl, want string) bool {
 	if !ok || fun.Name != want {
 		return false
 	}
+	if pkg.Typed() {
+		if obj := pkg.ObjectOf(fun); obj != nil {
+			if f, ok := obj.(*types.Func); !ok || f.Pkg() != pkg.Types || f.Parent() != pkg.Types.Scope() {
+				return false
+			}
+		}
+	}
 	bg, ok := call.Args[0].(*ast.CallExpr)
 	if !ok || len(bg.Args) != 0 {
 		return false
+	}
+	if pkg.Typed() {
+		return pkg.isPkgFunc(bg, "context", "Background")
 	}
 	sel, ok := bg.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Background" {

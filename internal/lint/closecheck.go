@@ -12,6 +12,15 @@ import (
 // printing after the data silently failed to reach disk. Read-path
 // closes that are deliberately unchecked must say so with
 // //lint:ignore closecheck <reason>.
+//
+// With type information the rule tracks what an expression *is* rather
+// than how it was produced: any identifier whose static type is
+// *os.File counts (parameters, struct fields' pointees, helper
+// returns), and so does an identifier of any type that was assigned a
+// value of static type *os.File — which follows the file through
+// interface conversions (`var c io.Closer = f; c.Close()`) that the
+// syntactic os.Open/Create/OpenFile pattern could never see. Without
+// type info the rule falls back to the syntactic evidence.
 type CloseCheck struct{}
 
 // Name implements Rule.
@@ -33,24 +42,39 @@ func (CloseCheck) Check(pkg *Package, report ReportFunc) {
 		}
 		for _, decl := range f.AST.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkCloseFunc(f, fd.Type, fd.Body, nil, report)
+				checkCloseFunc(pkg, f, fd.Type, fd.Body, nil, report)
 			}
 		}
 	}
 }
 
+// fileEvidence reports whether an expression verifiably yields an
+// *os.File: by its static type when the package is typed, by the
+// os.Open/os.Create/os.OpenFile call pattern otherwise. For calls the
+// first result of a multi-value return is what gets bound.
+func fileEvidence(pkg *Package, e ast.Expr) bool {
+	if pkg.Typed() {
+		return isOSFileType(firstResultType(pkg.TypeOf(e)))
+	}
+	call, ok := e.(*ast.CallExpr)
+	return ok && isOSOpenCall(call)
+}
+
 // checkCloseFunc scans one function (and, recursively, its closures —
 // which capture the enclosing files) for discarded Close calls on
 // identifiers that verifiably hold an *os.File.
-func checkCloseFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer map[string]bool, report ReportFunc) {
+func checkCloseFunc(pkg *Package, f *File, ft *ast.FuncType, body *ast.BlockStmt, outer map[string]bool, report ReportFunc) {
 	files := make(map[string]bool)
 	for name := range outer {
 		files[name] = true
 	}
-	for _, field := range ft.Params.List {
-		if isOSFilePtr(field.Type) {
-			for _, name := range field.Names {
-				files[name.Name] = true
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			typed := pkg.Typed() && len(field.Names) > 0 && isOSFileType(pkg.TypeOf(field.Names[0]))
+			if typed || isOSFilePtr(field.Type) {
+				for _, name := range field.Names {
+					files[name.Name] = true
+				}
 			}
 		}
 	}
@@ -59,20 +83,28 @@ func checkCloseFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer map[st
 	// hold files can only surface more discarded closes, never hide one.
 	for range [2]struct{}{} {
 		ast.Inspect(body, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Rhs) != 1 {
-				return true
-			}
-			tracked := false
-			switch rhs := as.Rhs[0].(type) {
-			case *ast.CallExpr:
-				tracked = isOSOpenCall(rhs)
-			case *ast.Ident:
-				tracked = files[rhs.Name]
-			}
-			if tracked {
-				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
-					files[id.Name] = true
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				tracked := fileEvidence(pkg, n.Rhs[0])
+				if id, ok := n.Rhs[0].(*ast.Ident); ok && files[id.Name] {
+					tracked = true
+				}
+				if tracked {
+					if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+						files[id.Name] = true
+					}
+				}
+			case *ast.ValueSpec:
+				// `var c io.Closer = f`: the declared names hold the file.
+				if len(n.Values) == 1 && fileEvidence(pkg, n.Values[0]) {
+					for _, name := range n.Names {
+						if name.Name != "_" {
+							files[name.Name] = true
+						}
+					}
 				}
 			}
 			return true
@@ -82,15 +114,15 @@ func checkCloseFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer map[st
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			checkCloseFunc(f, n.Type, n.Body, files, report)
+			checkCloseFunc(pkg, f, n.Type, n.Body, files, report)
 			return false
 		case *ast.ExprStmt:
-			if name, ok := discardedClose(n.X, files); ok {
+			if name, ok := discardedClose(pkg, n.X, files); ok {
 				report(f, n.Pos(),
 					"error from %s.Close() is discarded; on a write path a failed Close can be the only sign of a short write — check it (or //lint:ignore closecheck <reason> for a read path)", name)
 			}
 		case *ast.DeferStmt:
-			if name, ok := discardedClose(n.Call, files); ok {
+			if name, ok := discardedClose(pkg, n.Call, files); ok {
 				report(f, n.Pos(),
 					"deferred %s.Close() discards its error; close write-path files explicitly and check the error (or //lint:ignore closecheck <reason> for a read path)", name)
 			}
@@ -99,8 +131,10 @@ func checkCloseFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer map[st
 	})
 }
 
-// discardedClose reports whether e is `name.Close()` on a tracked file.
-func discardedClose(e ast.Expr, files map[string]bool) (string, bool) {
+// discardedClose reports whether e is `name.Close()` on an expression
+// that holds a file: a tracked identifier, or (typed) any expression
+// whose static type is *os.File — a field, a map entry, a call result.
+func discardedClose(pkg *Package, e ast.Expr, files map[string]bool) (string, bool) {
 	call, ok := e.(*ast.CallExpr)
 	if !ok || len(call.Args) != 0 {
 		return "", false
@@ -109,14 +143,32 @@ func discardedClose(e ast.Expr, files map[string]bool) (string, bool) {
 	if !ok || sel.Sel.Name != "Close" {
 		return "", false
 	}
-	id, ok := sel.X.(*ast.Ident)
-	if !ok || !files[id.Name] {
-		return "", false
+	if id, ok := sel.X.(*ast.Ident); ok && files[id.Name] {
+		return id.Name, true
 	}
-	return id.Name, true
+	if pkg.Typed() && isOSFileType(pkg.TypeOf(sel.X)) {
+		return exprString(sel.X), true
+	}
+	return "", false
 }
 
-// isOSOpenCall recognizes os.Open, os.Create and os.OpenFile.
+// exprString renders a short description of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}
+
+// isOSOpenCall recognizes os.Open, os.Create and os.OpenFile — the
+// syntactic fallback evidence.
 func isOSOpenCall(call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -125,7 +177,7 @@ func isOSOpenCall(call *ast.CallExpr) bool {
 	return isPkgSel(sel, "os", "Open") || isPkgSel(sel, "os", "Create") || isPkgSel(sel, "os", "OpenFile")
 }
 
-// isOSFilePtr recognizes the *os.File type expression.
+// isOSFilePtr recognizes the *os.File type expression syntactically.
 func isOSFilePtr(t ast.Expr) bool {
 	star, ok := t.(*ast.StarExpr)
 	if !ok {

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -12,6 +13,15 @@ import (
 // or delegate to a *Ctx helper that does. Bounded three-clause and
 // range loops are exempt: the contract is "no unbounded work between
 // checkpoints", not "a poll on every iteration of everything".
+//
+// With type information the context parameter is recognized by what it
+// is, not what it is spelled as: named types and aliases of
+// context.Context, and interface parameters that embed it, all count —
+// a context smuggled behind `type reqCtx context.Context` can no longer
+// hide a poll-free loop. Body references are resolved to the actual
+// parameter objects, so an unrelated identifier that happens to share
+// the parameter's name no longer passes as a poll. Without type info
+// the rule falls back to the syntactic heuristics.
 type CtxCheckpoint struct{}
 
 // Name implements Rule.
@@ -36,33 +46,46 @@ var ctxCheckpointDirs = map[string]bool{
 
 // Check implements Rule.
 func (CtxCheckpoint) Check(pkg *Package, report ReportFunc) {
-	if !ctxCheckpointDirs[pkg.Dir] {
-		return
-	}
 	for _, f := range pkg.Files {
 		if f.Test {
 			continue
 		}
+		if !ctxCheckpointDirs[pkg.Dir] {
+			continue
+		}
 		for _, decl := range f.AST.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkCtxFunc(f, fd.Type, fd.Body, nil, report)
+				checkCtxFunc(pkg, f, fd.Type, fd.Body, ctxScope{}, report)
 			}
 		}
 	}
 }
 
-// checkCtxFunc walks one function body with the context parameter names
+// ctxScope is the set of context parameters visible in a function: the
+// resolved objects (typed mode) and the parameter names (fallback, and
+// the only evidence when type info is absent).
+type ctxScope struct {
+	objs  []types.Object
+	names []string
+}
+
+func (s ctxScope) empty() bool { return len(s.objs) == 0 && len(s.names) == 0 }
+
+// checkCtxFunc walks one function body with the context parameters
 // visible in its scope (the enclosing functions' plus its own — a
 // closure may checkpoint through a captured context).
-func checkCtxFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer []string, report ReportFunc) {
-	names := append(append([]string(nil), outer...), ctxParamNames(ft)...)
+func checkCtxFunc(pkg *Package, f *File, ft *ast.FuncType, body *ast.BlockStmt, outer ctxScope, report ReportFunc) {
+	scope := ctxScope{
+		objs:  append(append([]types.Object(nil), outer.objs...), ctxParamObjs(pkg, ft)...),
+		names: append(append([]string(nil), outer.names...), ctxParamNames(pkg, ft)...),
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			checkCtxFunc(f, n.Type, n.Body, names, report)
+			checkCtxFunc(pkg, f, n.Type, n.Body, scope, report)
 			return false
 		case *ast.ForStmt:
-			if len(names) > 0 && n.Init == nil && n.Post == nil && !mentionsCtx(n.Body, names) {
+			if !scope.empty() && n.Init == nil && n.Post == nil && !mentionsCtx(pkg, n.Body, scope) {
 				report(f, n.Pos(),
 					"while-style loop in a context-taking function never polls the context; add a ctx.Err() checkpoint or delegate to a Ctx helper (see DESIGN.md §9)")
 			}
@@ -71,8 +94,32 @@ func checkCtxFunc(f *File, ft *ast.FuncType, body *ast.BlockStmt, outer []string
 	})
 }
 
-// ctxParamNames returns the names of ft's context.Context parameters.
-func ctxParamNames(ft *ast.FuncType) []string {
+// ctxParamObjs resolves ft's context-typed parameters to their objects.
+// It requires type information and recognizes context.Context behind
+// aliases, named types, and embedding interfaces (isContextType).
+func ctxParamObjs(pkg *Package, ft *ast.FuncType) []types.Object {
+	if !pkg.Typed() || ft == nil || ft.Params == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pkg.ObjectOf(name)
+			if obj != nil && name.Name != "_" && isContextType(obj.Type()) {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// ctxParamNames returns the names of ft's syntactically evident
+// context.Context parameters — the fallback evidence when no type
+// information is available.
+func ctxParamNames(pkg *Package, ft *ast.FuncType) []string {
+	if pkg.Typed() {
+		return nil // the resolved objects are strictly better evidence
+	}
 	if ft == nil || ft.Params == nil {
 		return nil
 	}
@@ -96,8 +143,9 @@ func ctxParamNames(ft *ast.FuncType) []string {
 
 // mentionsCtx reports whether body references one of the in-scope
 // context parameters or calls a *Ctx-suffixed helper (which by the
-// module's naming convention takes and polls a context itself).
-func mentionsCtx(body *ast.BlockStmt, names []string) bool {
+// module's naming convention takes and polls a context itself). In
+// typed mode a reference must resolve to the actual parameter object.
+func mentionsCtx(pkg *Package, body *ast.BlockStmt, scope ctxScope) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -111,7 +159,15 @@ func mentionsCtx(body *ast.BlockStmt, names []string) bool {
 			found = true
 			return false
 		}
-		for _, name := range names {
+		if obj := pkg.ObjectOf(id); obj != nil {
+			for _, want := range scope.objs {
+				if obj == want {
+					found = true
+					return false
+				}
+			}
+		}
+		for _, name := range scope.names {
 			if id.Name == name {
 				found = true
 				return false

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -15,6 +16,14 @@ import (
 // body appends to a slice or writes output (Go randomizes map iteration
 // order, so the result ordering would differ run to run; iterate a
 // sorted key slice instead).
+//
+// With type information the map rule fires on *any* expression whose
+// static type is a map — named map types, maps behind struct fields
+// from other packages, map-returning methods — where the syntactic
+// version could only recognize package-local declarations it had
+// indexed. time.Now and the rand functions are resolved through the
+// checker, so an import renamed to `clock` no longer hides a call.
+// Without type info the rule falls back to the syntactic index.
 type Determinism struct{}
 
 // Name implements Rule.
@@ -58,26 +67,59 @@ func (Determinism) Check(pkg *Package, report ReportFunc) {
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
-				if banTimeNow && isPkgSel(n, "time", "Now") {
+				if banTimeNow && isTimeNow(pkg, n) {
 					report(f, n.Pos(),
 						"time.Now is nondeterministic solver input; take timings in the bench layer (internal/bench is exempt) or annotate the instrumentation")
 				}
 			case *ast.CallExpr:
-				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-					if x, ok := sel.X.(*ast.Ident); ok && x.Name == "rand" && globalRandFuncs[sel.Sel.Name] {
-						report(f, n.Pos(),
-							"global rand.%s draws from the shared unseeded source; use a seeded *rand.Rand", sel.Sel.Name)
-					}
+				if name, ok := globalRandCall(pkg, n); ok {
+					report(f, n.Pos(),
+						"global rand.%s draws from the shared unseeded source; use a seeded *rand.Rand", name)
 				}
 			}
 			return true
 		})
 		for _, decl := range f.AST.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkMapRanges(f, fd, idx, report)
+				checkMapRanges(pkg, f, fd, idx, report)
 			}
 		}
 	}
+}
+
+// isTimeNow recognizes the time.Now selector, by resolved object when
+// type info is available (robust to import renaming), syntactically
+// otherwise.
+func isTimeNow(pkg *Package, sel *ast.SelectorExpr) bool {
+	if pkg.Typed() {
+		obj := pkg.ObjectOf(sel.Sel)
+		return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now"
+	}
+	return isPkgSel(sel, "time", "Now")
+}
+
+// globalRandCall recognizes calls to the shared-source math/rand
+// package functions (never the methods of a seeded *rand.Rand, which
+// share the same names — the typed path distinguishes them by the
+// resolved object's package scope, the syntactic path by the receiver
+// identifier being the package name).
+func globalRandCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !globalRandFuncs[sel.Sel.Name] {
+		return "", false
+	}
+	if pkg.Typed() {
+		obj := pkg.ObjectOf(sel.Sel)
+		if f, ok := obj.(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "math/rand" &&
+			f.Type().(*types.Signature).Recv() == nil {
+			return f.Name(), true
+		}
+		return "", false
+	}
+	if x, ok := sel.X.(*ast.Ident); ok && x.Name == "rand" {
+		return sel.Sel.Name, true
+	}
+	return "", false
 }
 
 // pkgMapIndex is the package-local knowledge used to recognize
@@ -90,12 +132,16 @@ type pkgMapIndex struct {
 }
 
 // indexPackageMaps scans every file of the package (tests included —
-// a helper defined in a test file can flow into scope decisions).
+// a helper defined in a test file can flow into scope decisions). The
+// index is only consulted when no type information is available.
 func indexPackageMaps(pkg *Package) pkgMapIndex {
 	idx := pkgMapIndex{
 		fields: make(map[string]bool),
 		funcs:  make(map[string]bool),
 		vars:   make(map[string]bool),
+	}
+	if pkg.Typed() {
+		return idx
 	}
 	for _, f := range pkg.Files {
 		for _, decl := range f.AST.Decls {
@@ -134,46 +180,48 @@ func indexPackageMaps(pkg *Package) pkgMapIndex {
 }
 
 // checkMapRanges reports order-sensitive map iterations inside fd.
-func checkMapRanges(f *File, fd *ast.FuncDecl, idx pkgMapIndex, report ReportFunc) {
+func checkMapRanges(pkg *Package, f *File, fd *ast.FuncDecl, idx pkgMapIndex, report ReportFunc) {
 	local := make(map[string]bool)
-	addParams := func(ft *ast.FuncType) {
-		for _, field := range ft.Params.List {
-			if isMapType(field.Type) {
-				for _, name := range field.Names {
-					local[name.Name] = true
-				}
-			}
-		}
-	}
-	addParams(fd.Type)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			addParams(n.Type)
-		case *ast.AssignStmt:
-			if len(n.Lhs) == len(n.Rhs) {
-				for i, rhs := range n.Rhs {
-					if id, ok := n.Lhs[i].(*ast.Ident); ok && isMapExprLiteral(rhs) {
-						local[id.Name] = true
+	if !pkg.Typed() {
+		addParams := func(ft *ast.FuncType) {
+			for _, field := range ft.Params.List {
+				if isMapType(field.Type) {
+					for _, name := range field.Names {
+						local[name.Name] = true
 					}
 				}
 			}
-		case *ast.ValueSpec:
-			if isMapType(n.Type) {
-				for _, name := range n.Names {
-					local[name.Name] = true
+		}
+		addParams(fd.Type)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				addParams(n.Type)
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && isMapExprLiteral(rhs) {
+							local[id.Name] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if isMapType(n.Type) {
+					for _, name := range n.Names {
+						local[name.Name] = true
+					}
 				}
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
 		}
-		if isMapExpr(rng.X, local, idx) && hasOrderSensitiveEffect(rng.Body) && !sortedAfter(fd.Body, rng) {
+		if isMapExpr(pkg, rng.X, local, idx) && hasOrderSensitiveEffect(rng.Body) && !sortedAfter(fd.Body, rng) {
 			report(f, rng.Pos(),
 				"iterating a map while appending or writing output is order-nondeterministic; range over a sorted key slice (or sort what you collected before using it)")
 		}
@@ -196,7 +244,7 @@ func sortedAfter(body *ast.BlockStmt, rng *ast.RangeStmt) bool {
 			return true
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if x, ok := sel.X.(*ast.Ident); ok && x.Name == "sort" {
+			if x, ok := sel.X.(*ast.Ident); ok && (x.Name == "sort" || x.Name == "slices") {
 				found = true
 			}
 		}
@@ -219,11 +267,21 @@ func isMapExprLiteral(e ast.Expr) bool {
 	return false
 }
 
-// isMapExpr reports whether e is, by the package-local evidence, a map:
-// a tracked local/param/package var, a field declared with map type
-// anywhere in the package, or a call to a map-returning package
-// function.
-func isMapExpr(e ast.Expr, local map[string]bool, idx pkgMapIndex) bool {
+// isMapExpr reports whether e is a map. With type information this is
+// exact — any expression whose static type has a map underlying,
+// including named map types and cross-package fields. Without it, the
+// package-local evidence: a tracked local/param/package var, a field
+// declared with map type anywhere in the package, or a call to a
+// map-returning package function.
+func isMapExpr(pkg *Package, e ast.Expr, local map[string]bool, idx pkgMapIndex) bool {
+	if pkg.Typed() {
+		t := pkg.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		_, ok := types.Unalias(t).Underlying().(*types.Map)
+		return ok
+	}
 	switch e := e.(type) {
 	case *ast.Ident:
 		return local[e.Name] || idx.vars[e.Name]

@@ -5,12 +5,15 @@
 // byte-identical deterministic output — which are otherwise enforced
 // only by convention and code review.
 //
-// The engine is deliberately stdlib-only (go/parser, go/ast, go/token;
-// no x/tools dependency, matching the module's stdlib-only rule) and
-// purely syntactic: rules work on the AST with package-local indexes
-// instead of full type information. That keeps the pass fast and
-// dependency-free at the cost of heuristic precision; deliberate
-// exceptions are annotated in the tree with
+// The engine is deliberately stdlib-only (go/parser, go/ast, go/token,
+// go/types, go/importer; no x/tools dependency, matching the module's
+// stdlib-only rule). LoadTyped attaches full go/types information —
+// in-module imports resolved from source, stdlib from GOROOT/src — and
+// every rule prefers resolved objects and static types over spelling
+// when that info is present; with plain Load each rule falls back to
+// its original syntactic heuristics, so the engine still works on
+// fixture trees and broken packages. Deliberate exceptions are
+// annotated in the tree with
 //
 //	//lint:ignore <rule>[,<rule>...] <reason>
 //
@@ -24,8 +27,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic, rendered as "path:line: rule: message".
@@ -51,10 +56,17 @@ type File struct {
 
 // Package groups the files of one directory. Dir is the directory's
 // module-relative slash path ("." for the module root); rules use it to
-// decide whether they apply.
+// decide whether they apply. Types/Info are populated by LoadTyped
+// (nil after a plain Load, or for test-only directories): rules use
+// them when present and fall back to their syntactic heuristics when
+// not, so the engine degrades instead of failing.
 type Package struct {
 	Dir   string
 	Files []*File
+
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []string // checker diagnostics; partial Info is kept
 }
 
 // ReportFunc records a finding at pos in f; the engine fills in the
@@ -78,6 +90,8 @@ func AllRules() []Rule {
 		Determinism{},
 		CloseCheck{},
 		NakedGoroutine{},
+		SharedMutation{},
+		CtxPropagation{},
 	}
 }
 
@@ -85,16 +99,37 @@ func AllRules() []Rule {
 // //lint:ignore directives are reported. It cannot be suppressed.
 const directiveRule = "lint-directive"
 
+// RuleTime is the cumulative wall time one rule spent across every
+// package of a run — the per-rule timing mcfslint prints so a slow
+// typed pass is noticed in CI output, not discovered by bisection.
+type RuleTime struct {
+	Rule    string
+	Elapsed time.Duration
+}
+
 // Run executes the rules over the packages and returns the surviving
 // findings sorted by position. Suppression via //lint:ignore is applied
 // here; unused-directive hygiene findings are only emitted when the
 // full rule set runs (a filtered run cannot tell a stale directive from
 // one whose rule simply was not executed).
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	findings, _ := RunTimed(pkgs, rules)
+	return findings
+}
+
+// RunTimed is Run with per-rule wall-time accounting, in the same
+// order as rules.
+func RunTimed(pkgs []*Package, rules []Rule) ([]Finding, []RuleTime) {
 	var raw []Finding
+	times := make([]RuleTime, len(rules))
+	for i, rule := range rules {
+		times[i].Rule = rule.Name()
+	}
 	for _, pkg := range pkgs {
-		for _, rule := range rules {
+		for i, rule := range rules {
 			name := rule.Name()
+			//lint:ignore determinism per-rule timing is diagnostic stderr output, never solver input
+			start := time.Now()
 			rule.Check(pkg, func(f *File, pos token.Pos, format string, args ...any) {
 				p := f.Fset.Position(pos)
 				raw = append(raw, Finding{
@@ -102,6 +137,7 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 					Rule: name, Message: fmt.Sprintf(format, args...),
 				})
 			})
+			times[i].Elapsed += time.Since(start)
 		}
 	}
 
@@ -169,7 +205,7 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Message < b.Message
 	})
-	return findings
+	return findings, times
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

@@ -28,6 +28,60 @@ func loadFixture(t *testing.T, name, virtualDir string) *Package {
 	return pkg
 }
 
+// loadFixtureTyped loads testdata/<name> through the typed loader —
+// the fixture may be a multi-package module with its own go.mod — and
+// relabels each package per dirs (fixture-relative dir → virtual
+// module-relative dir). Fixtures must type-check: a type error here is
+// a broken fixture, not a tolerated condition.
+func loadFixtureTyped(t *testing.T, name string, dirs map[string]string) []*Package {
+	t.Helper()
+	pkgs, err := LoadTyped(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages", name)
+	}
+	for _, pkg := range pkgs {
+		for _, msg := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %s", name, msg)
+		}
+		if !pkg.Typed() {
+			t.Errorf("fixture %s: package %s carries no type info", name, pkg.Dir)
+		}
+		virtual, ok := dirs[pkg.Dir]
+		if !ok {
+			t.Fatalf("fixture %s: unexpected package dir %q", name, pkg.Dir)
+		}
+		pkg.Dir = virtual
+		for _, f := range pkg.Files {
+			f.Path = path.Join(virtual, path.Base(f.Path))
+		}
+	}
+	return pkgs
+}
+
+// loadFixtureSyntactic is the multi-package variant of loadFixture for
+// asserting the syntactic fallback's behavior on typed fixtures.
+func loadFixtureSyntactic(t *testing.T, name string, dirs map[string]string) []*Package {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		virtual, ok := dirs[pkg.Dir]
+		if !ok {
+			t.Fatalf("fixture %s: unexpected package dir %q", name, pkg.Dir)
+		}
+		pkg.Dir = virtual
+		for _, f := range pkg.Files {
+			f.Path = path.Join(virtual, path.Base(f.Path))
+		}
+	}
+	return pkgs
+}
+
 var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
 
 // wants extracts the `// want "substring"` expectations of a fixture,
@@ -59,9 +113,20 @@ func collectWants(t *testing.T, pkg *Package) map[wantKey]string {
 // against the want comments, both ways.
 func checkFixture(t *testing.T, pkg *Package, rules []Rule) {
 	t.Helper()
-	wants := collectWants(t, pkg)
+	checkFixtures(t, []*Package{pkg}, rules)
+}
+
+// checkFixtures is checkFixture over a multi-package fixture.
+func checkFixtures(t *testing.T, pkgs []*Package, rules []Rule) {
+	t.Helper()
+	wants := make(map[wantKey]string)
+	for _, pkg := range pkgs {
+		for key, want := range collectWants(t, pkg) {
+			wants[key] = want
+		}
+	}
 	matched := make(map[wantKey]bool)
-	for _, fd := range Run([]*Package{pkg}, rules) {
+	for _, fd := range Run(pkgs, rules) {
 		key := wantKey{fd.Path, fd.Line}
 		want, ok := wants[key]
 		if !ok {
@@ -141,6 +206,94 @@ func TestNakedGoroutineParallelExemption(t *testing.T) {
 	}
 }
 
+// sharedMutationDirs maps the sharedmutation fixture module's packages
+// into the virtual tree the rule's scoping expects.
+var sharedMutationDirs = map[string]string{
+	"bench": "internal/bench",
+	"data":  "internal/data",
+	"graph": "internal/graph",
+}
+
+func TestSharedMutationRule(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "sharedmutation", sharedMutationDirs)
+	checkFixtures(t, pkgs, []Rule{SharedMutation{}})
+}
+
+// TestSharedMutationOutOfScope: the rule only concerns the bench
+// harness; the same code anywhere else is not in its jurisdiction.
+func TestSharedMutationOutOfScope(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "sharedmutation", map[string]string{
+		"bench": "internal/core",
+		"data":  "internal/data",
+		"graph": "internal/graph",
+	})
+	if got := Run(pkgs, []Rule{SharedMutation{}}); len(got) != 0 {
+		t.Errorf("rule fired outside internal/bench: %v", got)
+	}
+}
+
+// TestSharedMutationSilentWithoutTypes: the rule needs go/types info
+// and must stay silent, not guess, on a syntactic load.
+func TestSharedMutationSilentWithoutTypes(t *testing.T) {
+	pkgs := loadFixtureSyntactic(t, "sharedmutation", sharedMutationDirs)
+	if got := Run(pkgs, []Rule{SharedMutation{}}); len(got) != 0 {
+		t.Errorf("typed-only rule fired without type info: %v", got)
+	}
+}
+
+func TestCtxPropagationRule(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "ctxpropagation", map[string]string{".": "internal/solver"})
+	checkFixtures(t, pkgs, []Rule{CtxPropagation{}})
+}
+
+func TestCtxPropagationSilentWithoutTypes(t *testing.T) {
+	pkgs := loadFixtureSyntactic(t, "ctxpropagation", map[string]string{".": "internal/solver"})
+	if got := Run(pkgs, []Rule{CtxPropagation{}}); len(got) != 0 {
+		t.Errorf("typed-only rule fired without type info: %v", got)
+	}
+}
+
+// The *typed fixtures hold violations only type information can see:
+// each has a want-comment test through the typed loader and a
+// zero-finding test through the syntactic one, documenting exactly what
+// the typed engine buys.
+
+func TestCtxCheckpointTyped(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "ctxcheckpointtyped", map[string]string{".": "internal/solver"})
+	checkFixtures(t, pkgs, []Rule{CtxCheckpoint{}})
+}
+
+func TestCtxCheckpointTypedSyntacticMisses(t *testing.T) {
+	pkgs := loadFixtureSyntactic(t, "ctxcheckpointtyped", map[string]string{".": "internal/solver"})
+	if got := Run(pkgs, []Rule{CtxCheckpoint{}}); len(got) != 0 {
+		t.Errorf("syntactic pass should not see these (they need type info): %v", got)
+	}
+}
+
+func TestDeterminismTyped(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "determinismtyped", map[string]string{".": "internal/core"})
+	checkFixtures(t, pkgs, []Rule{Determinism{}})
+}
+
+func TestDeterminismTypedSyntacticMisses(t *testing.T) {
+	pkgs := loadFixtureSyntactic(t, "determinismtyped", map[string]string{".": "internal/core"})
+	if got := Run(pkgs, []Rule{Determinism{}}); len(got) != 0 {
+		t.Errorf("syntactic pass should not see these (they need type info): %v", got)
+	}
+}
+
+func TestCloseCheckTyped(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "closechecktyped", map[string]string{".": "cmd/fixture"})
+	checkFixtures(t, pkgs, []Rule{CloseCheck{}})
+}
+
+func TestCloseCheckTypedSyntacticMisses(t *testing.T) {
+	pkgs := loadFixtureSyntactic(t, "closechecktyped", map[string]string{".": "cmd/fixture"})
+	if got := Run(pkgs, []Rule{CloseCheck{}}); len(got) != 0 {
+		t.Errorf("syntactic pass should not see these (they need type info): %v", got)
+	}
+}
+
 // TestDirectiveHygiene covers the lint-directive pseudo-rule: stale,
 // malformed, and unknown //lint: comments are findings. Expectations
 // are inline here because the directive itself occupies the line a want
@@ -199,6 +352,63 @@ func TestModuleClean(t *testing.T) {
 	}
 	for _, fd := range Run(pkgs, AllRules()) {
 		t.Errorf("module not lint-clean: %s", fd)
+	}
+}
+
+// TestModuleCleanTyped is the typed twin of TestModuleClean and the
+// gate CI actually runs: the real module type-checks without errors and
+// has zero findings under the full rule set with type info attached —
+// including the typed-only rules, which are silent in the syntactic
+// run above.
+func TestModuleCleanTyped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typed load reads GOROOT/src; skip in -short")
+	}
+	pkgs, err := LoadTyped("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages from the module root; the loader is missing directories", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, msg := range pkg.TypeErrors {
+			t.Errorf("package %s: type error: %s", pkg.Dir, msg)
+		}
+		hasNonTest := false
+		for _, f := range pkg.Files {
+			if !f.Test {
+				hasNonTest = true
+			}
+		}
+		if hasNonTest && !pkg.Typed() {
+			t.Errorf("package %s has non-test files but no type info", pkg.Dir)
+		}
+	}
+	for _, fd := range Run(pkgs, AllRules()) {
+		t.Errorf("module not lint-clean under typed rules: %s", fd)
+	}
+}
+
+// TestRunTimed: the timing side channel accounts for every rule and
+// returns the same findings as Run.
+func TestRunTimed(t *testing.T) {
+	pkg := loadFixture(t, "nakedgoroutine", "internal/util")
+	findings, times := RunTimed([]*Package{pkg}, AllRules())
+	if len(findings) == 0 {
+		t.Fatal("expected findings from the nakedgoroutine fixture")
+	}
+	if len(times) != len(AllRules()) {
+		t.Fatalf("got %d rule timings, want %d", len(times), len(AllRules()))
+	}
+	seen := make(map[string]bool)
+	for _, rt := range times {
+		seen[rt.Rule] = true
+	}
+	for _, r := range AllRules() {
+		if !seen[r.Name()] {
+			t.Errorf("no timing entry for rule %s", r.Name())
+		}
 	}
 }
 

@@ -19,10 +19,15 @@ import (
 // the same convention the go tool uses — which keeps this package's own
 // deliberately-violating fixtures out of a module-wide run.
 func Load(root string, patterns ...string) ([]*Package, error) {
+	return load(token.NewFileSet(), root, patterns...)
+}
+
+// load is Load against a caller-owned FileSet (shared with the typed
+// layer so checker positions and parser positions agree).
+func load(fset *token.FileSet, root string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	fset := token.NewFileSet()
 	byDir := make(map[string]*Package)
 	for _, pat := range patterns {
 		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")

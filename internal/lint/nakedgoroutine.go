@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // NakedGoroutine keeps concurrency confined to joinable structure: a
@@ -12,6 +13,12 @@ import (
 // worker pool (internal/bench/parallel.go), whose goroutines are joined
 // across function boundaries by pool.drain; every other fire-and-forget
 // goroutine is a leak or a race waiting for the next refactor.
+//
+// With type information a `.Wait()` call only counts as a join when its
+// receiver actually is a sync.WaitGroup — `limiter.Wait()` on some
+// unrelated type no longer launders a leaked goroutine — and ranging
+// over a channel counts as the receive it is. Without type info any
+// .Wait() call is accepted, as before.
 type NakedGoroutine struct{}
 
 // Name implements Rule.
@@ -39,7 +46,7 @@ func (NakedGoroutine) Check(pkg *Package, report ReportFunc) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			joined := hasJoin(fd.Body)
+			joined := hasJoin(pkg, fd.Body)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if g, ok := n.(*ast.GoStmt); ok && !joined {
 					report(f, g.Pos(),
@@ -51,10 +58,10 @@ func (NakedGoroutine) Check(pkg *Package, report ReportFunc) {
 	}
 }
 
-// hasJoin reports whether body contains a join point: a .Wait() call or
-// a channel receive (including `for range ch`, which parses as a range
-// — any receive expression counts).
-func hasJoin(body *ast.BlockStmt) bool {
+// hasJoin reports whether body contains a join point: a WaitGroup
+// Wait() call, a channel receive expression, or (typed) a range over a
+// channel.
+func hasJoin(pkg *Package, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -62,15 +69,39 @@ func hasJoin(body *ast.BlockStmt) bool {
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" && isWaitGroupWait(pkg, sel) {
 				found = true
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
 				found = true
 			}
+		case *ast.RangeStmt:
+			if pkg.Typed() {
+				if t := pkg.TypeOf(n.X); t != nil {
+					if _, ok := types.Unalias(t).Underlying().(*types.Chan); ok {
+						found = true
+					}
+				}
+			}
 		}
 		return !found
 	})
 	return found
+}
+
+// isWaitGroupWait reports whether sel is a Wait() whose receiver is a
+// sync.WaitGroup. Without type information every .Wait() is accepted —
+// the syntactic rule has no way to tell and must not regress.
+func isWaitGroupWait(pkg *Package, sel *ast.SelectorExpr) bool {
+	if !pkg.Typed() {
+		return true
+	}
+	t := pkg.TypeOf(sel.X)
+	if t == nil {
+		// The receiver didn't type-check (e.g. a dependency the loader
+		// couldn't resolve); keep the permissive syntactic answer.
+		return true
+	}
+	return isNamedType(t, true, "sync", "WaitGroup")
 }

@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedMutation enforces the bench harness's immutability contract
+// (DESIGN.md §8): once an instance is handed to the worker pool, the
+// *data.Instance and *graph.Graph it references are shared read-only
+// across concurrently running cells, so nothing reached from a cell may
+// write through them. The rule is typed and inter-procedural within
+// internal/bench: it starts at every function literal submitted via
+// pool.cell, classifies the provenance of each *Instance/*Graph value
+// in scope (owned: built here from a composite literal, new, or a
+// Clone call; shared: received from a memoized builder, captured from
+// the enclosing sweep, or derived from either), follows shared values
+// into same-package callees, and reports any field write, element
+// write, pointer store, or copy() whose destination is rooted in a
+// shared value. A shallow value copy (inst := *shared) owns its direct
+// fields but not the backing arrays of its slice/map fields — writing
+// copy.K is fine, writing copy.Customers[i] is a finding.
+//
+// The analysis is deliberately conservative where it cannot see:
+// writes hidden behind method calls or out-of-package functions are
+// not tracked (the race detector covers those), and construction-phase
+// helpers that fill an instance before submission (builders outside
+// cell closures) are out of scope by design.
+type SharedMutation struct{}
+
+// Name implements Rule.
+func (SharedMutation) Name() string { return "shared-instance-mutation" }
+
+// Doc implements Rule.
+func (SharedMutation) Doc() string {
+	return "no writes through a pool-shared *data.Instance/*graph.Graph after submission to the bench worker pool"
+}
+
+// Check implements Rule. The rule needs type information; without it
+// (plain Load) it stays silent rather than guessing.
+func (SharedMutation) Check(pkg *Package, report ReportFunc) {
+	if pkg.Dir != "internal/bench" || !pkg.Typed() {
+		return
+	}
+	c := &sharedChecker{pkg: pkg, report: report, analyzed: make(map[string]bool)}
+	decls := make(map[types.Object]*declSite)
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pkg.ObjectOf(fd.Name); obj != nil {
+					decls[obj] = &declSite{file: f, decl: fd}
+				}
+			}
+		}
+	}
+	c.decls = decls
+
+	// Entry points: every FuncLit submitted through a .cell(...) call.
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		f := f
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "cell" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					c.analyze(f, lit.Type, lit.Body, nil, true)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// provenance is the lattice the checker tracks per value, ordered so
+// that a flow-insensitive merge can take the maximum.
+type provenance int
+
+const (
+	provUnknown provenance = iota
+	provOwned              // freshly constructed here; writes are fine
+	provBacking            // value copy of a shared object: fields owned, backing arrays shared
+	provShared             // points into the pool-shared object graph
+)
+
+// declSite pairs a function declaration with its file for reporting.
+type declSite struct {
+	file *File
+	decl *ast.FuncDecl
+}
+
+type sharedChecker struct {
+	pkg      *Package
+	report   ReportFunc
+	decls    map[types.Object]*declSite
+	analyzed map[string]bool // decl+shared-param mask, cycle/duplicate guard
+}
+
+// sharedScope is the per-function analysis state.
+type sharedScope struct {
+	vars map[types.Object]provenance
+	defs map[types.Object]bool // objects defined inside the analyzed body
+	cell bool                  // body runs inside a pool cell
+}
+
+// trackedType reports whether t is (a pointer to) data.Instance or
+// graph.Graph — the two types the harness shares across cells. The
+// package is matched by import-path suffix so fixture modules
+// (fix/data, fix/graph) exercise the same code path as the real module.
+func trackedType(t types.Type) bool {
+	return isNamedType(t, true, "internal/data", "Instance") || isNamedType(t, true, "data", "Instance") ||
+		isNamedType(t, true, "internal/graph", "Graph") || isNamedType(t, true, "graph", "Graph")
+}
+
+// analyze walks one function body. sharedParams maps parameter index to
+// the provenance flowing in from a call site (nil for cell literals,
+// whose sharing comes from capture and builder calls instead).
+func (c *sharedChecker) analyze(f *File, ft *ast.FuncType, body *ast.BlockStmt, sharedParams map[int]provenance, cell bool) {
+	sc := &sharedScope{vars: make(map[types.Object]provenance), defs: make(map[types.Object]bool), cell: cell}
+	idx := 0
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				obj := c.pkg.ObjectOf(name)
+				if obj != nil {
+					sc.defs[obj] = true
+					if p, ok := sharedParams[idx]; ok {
+						sc.vars[obj] = p
+					}
+				}
+				idx++
+			}
+		}
+	}
+
+	// Two propagation passes so a later alias (g := inst.G before inst
+	// is classified by a subsequent pattern) still resolves; merging
+	// takes the maximum, so over-approximation can only surface more
+	// writes, never hide one.
+	for range [2]struct{}{} {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				c.propagate(sc, n)
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					obj := c.pkg.ObjectOf(name)
+					if obj == nil {
+						continue
+					}
+					sc.defs[obj] = true
+					if i < len(n.Values) {
+						c.merge(sc, obj, c.provenanceOf(sc, n.Values[i]))
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				c.checkWrite(f, sc, lhs, n.Pos())
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(f, sc, n.X, n.Pos())
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" && len(n.Args) > 0 {
+				if p := c.provenanceOf(sc, n.Args[0]); p == provShared || p == provBacking {
+					c.report(f, n.Pos(),
+						"copy() into a pool-shared instance's backing array; cells must treat submitted instances as read-only (clone or rebuild instead)")
+				}
+			}
+			c.follow(f, sc, n)
+		}
+		return true
+	})
+}
+
+// propagate records provenance flowing through one assignment.
+func (c *sharedChecker) propagate(sc *sharedScope, as *ast.AssignStmt) {
+	record := func(lhs ast.Expr, p provenance) {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pkg.ObjectOf(id); obj != nil {
+				sc.defs[obj] = true
+				c.merge(sc, obj, p)
+			}
+		}
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Multi-value call: the first result carries the instance.
+		record(as.Lhs[0], c.provenanceOf(sc, as.Rhs[0]))
+		for _, lhs := range as.Lhs[1:] {
+			record(lhs, provUnknown)
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			record(as.Lhs[i], c.provenanceOf(sc, as.Rhs[i]))
+		}
+	}
+}
+
+func (c *sharedChecker) merge(sc *sharedScope, obj types.Object, p provenance) {
+	if p > sc.vars[obj] {
+		sc.vars[obj] = p
+	}
+}
+
+// provenanceOf classifies an expression. Reference-typed projections
+// (pointer, slice, map fields and elements) of a shared or
+// backing-shared value point into the shared object graph; value-typed
+// projections of a shared pointer are reads of shared memory that
+// become local copies on assignment, hence provBacking.
+func (c *sharedChecker) provenanceOf(sc *sharedScope, e ast.Expr) provenance {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pkg.ObjectOf(e)
+		if obj == nil {
+			return provUnknown
+		}
+		if p, ok := sc.vars[obj]; ok && p != provUnknown {
+			return p
+		}
+		// A tracked value captured from outside a cell literal crossed
+		// into the pool with the submission: shared by definition.
+		if sc.cell && !sc.defs[obj] && trackedType(obj.Type()) {
+			return provShared
+		}
+		return provUnknown
+	case *ast.SelectorExpr:
+		base := c.provenanceOf(sc, e.X)
+		t := c.pkg.TypeOf(e)
+		switch base {
+		case provShared, provBacking:
+			if isReferenceType(t) {
+				return provShared
+			}
+			return provBacking
+		case provOwned:
+			return provOwned
+		}
+		// Unqualified selector (captured struct field, package var) of a
+		// tracked type inside a cell: shared, same argument as idents.
+		if sc.cell && trackedType(t) && !isPkgName(c.pkg, e.X) {
+			return provShared
+		}
+		return provUnknown
+	case *ast.IndexExpr:
+		base := c.provenanceOf(sc, e.X)
+		if base == provShared || base == provBacking {
+			if isReferenceType(c.pkg.TypeOf(e)) {
+				return provShared
+			}
+			return provBacking
+		}
+		return base
+	case *ast.StarExpr:
+		if p := c.provenanceOf(sc, e.X); p == provShared {
+			return provBacking // value copy of the shared object
+		} else if p != provUnknown {
+			return p
+		}
+		return provUnknown
+	case *ast.UnaryExpr:
+		return c.provenanceOf(sc, e.X) // &x shares x's classification
+	case *ast.CompositeLit:
+		return provOwned
+	case *ast.CallExpr:
+		return c.callProvenance(sc, e)
+	case *ast.TypeAssertExpr:
+		return c.provenanceOf(sc, e.X)
+	}
+	return provUnknown
+}
+
+// callProvenance classifies a call result: constructions (new, Clone)
+// are owned; inside a cell any other call yielding a tracked type hands
+// out the pool-shared value (memoized builders, captured closures);
+// elsewhere a call is shared only when a shared value flows in.
+func (c *sharedChecker) callProvenance(sc *sharedScope, call *ast.CallExpr) provenance {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "new" {
+			return provOwned
+		}
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Clone" {
+			return provOwned
+		}
+	}
+	rt := firstResultType(c.pkg.TypeOf(call))
+	if !trackedType(rt) {
+		return provUnknown
+	}
+	if sc.cell {
+		return provShared
+	}
+	for _, arg := range call.Args {
+		if p := c.provenanceOf(sc, arg); p == provShared || p == provBacking {
+			return provShared
+		}
+	}
+	return provUnknown
+}
+
+// checkWrite reports lhs when it stores into pool-shared memory.
+// Rebinding a local variable (inst = other) is not a write to the
+// object and stays silent; field writes need a shared pointer base,
+// element writes fire on a shared backing array even when the
+// enclosing struct was copied by value.
+func (c *sharedChecker) checkWrite(f *File, sc *sharedScope, lhs ast.Expr, pos token.Pos) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if c.provenanceOf(sc, e.X) == provShared {
+			c.report(f, pos,
+				"write to field %s of a pool-shared instance after submission; cells must treat submitted instances as read-only (take a shallow copy before the pool, as runCoworkingSweep does)", e.Sel.Name)
+		}
+	case *ast.IndexExpr:
+		if p := c.provenanceOf(sc, e.X); p == provShared || p == provBacking {
+			c.report(f, pos,
+				"element write into a pool-shared backing array after submission; a shallow instance copy still shares its slices — clone the slice before mutating")
+		}
+	case *ast.StarExpr:
+		if c.provenanceOf(sc, e.X) == provShared {
+			c.report(f, pos,
+				"store through a pointer into a pool-shared instance after submission; cells must treat submitted instances as read-only")
+		}
+	}
+}
+
+// follow propagates shared arguments into same-package callees and
+// analyzes them with the corresponding parameters marked shared.
+func (c *sharedChecker) follow(f *File, sc *sharedScope, call *ast.CallExpr) {
+	var callee types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = c.pkg.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		// Methods are opaque to this pass (see rule doc).
+		return
+	}
+	site, ok := c.decls[callee]
+	if !ok {
+		return
+	}
+	shared := make(map[int]provenance)
+	key := ""
+	for i, arg := range call.Args {
+		if p := c.provenanceOf(sc, arg); p == provShared || p == provBacking {
+			shared[i] = p
+			key += string(rune('a'+i%26)) + string(rune('0'+int(p)))
+		}
+	}
+	if len(shared) == 0 {
+		return
+	}
+	key = callee.Name() + ":" + key
+	if c.analyzed[key] {
+		return
+	}
+	c.analyzed[key] = true
+	c.analyze(site.file, site.decl.Type, site.decl.Body, shared, false)
+}
+
+// isReferenceType reports whether values of t share underlying storage
+// when copied (pointers, slices, maps).
+func isReferenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isPkgName reports whether e is a package qualifier identifier.
+func isPkgName(pkg *Package, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pkg.ObjectOf(id).(*types.PkgName)
+	return ok
+}

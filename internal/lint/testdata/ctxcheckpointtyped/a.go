@@ -1,0 +1,46 @@
+// Package fix exercises the typed sharpening of ctx-checkpoint: the
+// context can hide behind a named interface, and an unrelated variable
+// that merely shares the parameter's name is not a poll.
+package fix
+
+import "context"
+
+// Job embeds context.Context; type-checking flattens the embedding, so
+// the rule recognizes a Job parameter as a context.
+type Job interface {
+	context.Context
+}
+
+func unpolled(j Job, n int) int {
+	for n > 0 { // want "never polls the context"
+		n--
+	}
+	return n
+}
+
+func polled(j Job, n int) int {
+	for n > 0 {
+		if j.Err() != nil {
+			return -1
+		}
+		n--
+	}
+	return n
+}
+
+// shadow declares a local named ctx inside the loop; by spelling it
+// looks like a poll, by resolution it is an unrelated int.
+func shadow(ctx context.Context, n int) int {
+	for n > 0 { // want "never polls the context"
+		ctx := n
+		_ = ctx
+		n--
+	}
+	return n
+}
+
+func keep() {
+	_ = unpolled
+	_ = polled
+	_ = shadow
+}

@@ -1,0 +1,55 @@
+// Package fix exercises the ctx-propagation rule: a context-taking
+// function must pass its received context down, not mint a fresh one.
+package fix
+
+import "context"
+
+type job = context.Context
+
+func helper(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func bad(ctx context.Context, n int) int {
+	return helper(context.Background(), n) // want "severs the caller's cancellation"
+}
+
+func badTODO(ctx context.Context, n int) int {
+	return helper(context.TODO(), n) // want "severs the caller's cancellation"
+}
+
+// A closure capturing the enclosing context scope is bound by the same
+// contract.
+func badClosure(ctx context.Context) func() int {
+	return func() int {
+		return helper(context.Background(), 1) // want "severs the caller's cancellation"
+	}
+}
+
+// The context can hide behind an alias; the rule resolves the type.
+func badAlias(j job, n int) int {
+	return helper(context.Background(), n) // want "severs the caller's cancellation"
+}
+
+// The sanctioned nil-guard assigns rather than passes and stays silent.
+func guarded(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return helper(ctx, n)
+}
+
+// A function with no context parameter is a root: detaching is its job.
+func wrapper(n int) int {
+	return helper(context.Background(), n)
+}
+
+func keep() {
+	_ = bad
+	_ = badTODO
+	_ = badClosure
+	_ = badAlias
+	_ = guarded
+	_ = wrapper
+}

@@ -1,0 +1,87 @@
+// Package bench mimics the harness's worker pool just enough to
+// exercise the shared-instance-mutation rule: closures submitted via
+// .cell(...) run concurrently, so everything they can reach through a
+// captured or builder-returned instance is shared read-only.
+package bench
+
+import (
+	"fix/data"
+	"fix/graph"
+)
+
+type pool struct{ work []func() }
+
+func (p *pool) cell(fn func()) { p.work = append(p.work, fn) }
+
+// point mimics the sweep point: inst is the memoized builder whose
+// result is handed to every cell of the sweep.
+type point struct {
+	inst func() *data.Instance
+}
+
+func sweep(p *pool, pt point, captured *data.Instance) {
+	p.cell(func() {
+		inst := pt.inst()
+		inst.K = 3 // want "write to field K of a pool-shared instance"
+		use(inst)
+	})
+	p.cell(func() {
+		captured.Customers[0] = 7 // want "element write into a pool-shared backing array"
+	})
+	p.cell(func() {
+		inst := pt.inst()
+		withK := *inst
+		withK.K = 2               // fields of a shallow value copy are owned
+		withK.Customers[0] = 9    // want "element write into a pool-shared backing array"
+		withK.Facilities[0] = bad // want "element write into a pool-shared backing array"
+		use(&withK)
+	})
+	p.cell(func() {
+		own := &data.Instance{K: 1, Customers: make([]int64, 4)}
+		own.K = 6            // built inside the cell: owned, no finding
+		own.Customers[0] = 1 // owned backing array, no finding
+		use(own)
+	})
+	p.cell(func() {
+		inst := pt.inst()
+		cl := inst.Clone()
+		cl.K = 9 // Clone results are owned, no finding
+		use(cl)
+		mutate(inst) // the write happens inside mutate and is reported there
+	})
+	p.cell(func() {
+		g := pt.inst().G
+		g.Adj[0][0] = 1 // want "element write into a pool-shared backing array"
+	})
+	p.cell(func() {
+		inst := pt.inst()
+		copy(inst.Customers, extra) // want "copy() into a pool-shared instance"
+	})
+}
+
+var bad data.Facility
+
+var extra = []int64{1, 2}
+
+// mutate is reached inter-procedurally with a shared argument.
+func mutate(in *data.Instance) {
+	in.K = 12 // want "write to field K of a pool-shared instance"
+}
+
+// build runs before submission: writes through its parameter are the
+// construction phase, not a post-submission mutation, and stay silent.
+func build(in *data.Instance, g *graph.Graph) {
+	in.G = g
+	in.K = 4
+	in.Customers = append(in.Customers, 9)
+}
+
+func newSweep(p *pool, g *graph.Graph) {
+	inst := &data.Instance{}
+	build(inst, g)
+	pt := point{inst: func() *data.Instance { return inst }}
+	other := &data.Instance{}
+	sweep(p, pt, other)
+}
+
+func use(in *data.Instance) { _ = in.K }

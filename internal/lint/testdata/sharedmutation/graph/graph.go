@@ -1,0 +1,18 @@
+// Package graph is the fixture stand-in for the module's graph layer.
+package graph
+
+// Graph mirrors the shape that matters to the rule: a named type in a
+// package whose import path ends in "graph", carrying reference fields.
+type Graph struct {
+	N   int
+	Adj [][]int64
+}
+
+// Clone returns a deep copy; the rule treats its result as owned.
+func (g *Graph) Clone() *Graph {
+	adj := make([][]int64, len(g.Adj))
+	for i, row := range g.Adj {
+		adj[i] = append([]int64(nil), row...)
+	}
+	return &Graph{N: g.N, Adj: adj}
+}

@@ -16,12 +16,38 @@ go vet ./...
 go build ./...
 
 # Project static analysis (DESIGN.md §10): machine-checks the
-# concurrency/cancellation/determinism invariants. Non-zero on any
-# finding; the tool prints its own runtime in the summary line so a
-# slow rule shows up in CI output.
+# concurrency/cancellation/determinism invariants with full go/types
+# information. Non-zero on any finding; the tool prints its own runtime
+# in the summary line so a slow rule shows up in CI output.
 go run ./cmd/mcfslint ./...
 
-go test -race ./...
+# Full suite under the race detector, with a coverage profile over the
+# library packages. Coverage is gated against the recorded baseline:
+# new code lands with tests or the number in coverage_baseline.txt is
+# raised/lowered deliberately in the same commit, never silently.
+covprofile=$(mktemp)
+go test -race -coverprofile="$covprofile" ./internal/...
+go test -race . ./cmd/... ./examples/...
+
+total=$(go tool cover -func="$covprofile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+baseline=$(cat scripts/coverage_baseline.txt)
+rm -f "$covprofile"
+echo "coverage: internal/... total ${total}% (baseline ${baseline}%)"
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t < b) }'; then
+	echo "coverage gate: ${total}% is below the recorded baseline ${baseline}% (scripts/coverage_baseline.txt)" >&2
+	exit 1
+fi
+
+# Bounded fuzz smoke: each fuzz target gets a few seconds of actual
+# fuzzing (not just the seed corpus) so a regression that only random
+# inputs can reach still trips CI. Findings are written to the package's
+# testdata/fuzz corpus by the fuzzer and reproduce as regular tests.
+for target in FuzzMatcher=./internal/bipartite FuzzDijkstra=./internal/graph FuzzReadInstance=./internal/data; do
+	name=${target%%=*}
+	pkg=${target#*=}
+	echo "fuzz smoke: $name"
+	go test -run='^$' -fuzz="^${name}\$" -fuzztime=5s "$pkg" >/dev/null
+done
 
 # Smoke-run every example in quick mode. They run in a scratch dir so
 # the artifacts some of them write (SVG/GeoJSON) stay out of the tree.
