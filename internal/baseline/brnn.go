@@ -80,6 +80,10 @@ func BRNNCtx(ctx context.Context, inst *data.Instance, opt core.Options) (*data.
 		return nil, err
 	}
 
+	// One scratch for the whole attraction phase: the bounded searches
+	// below run m×(k-1) times and would otherwise allocate a map and
+	// frontier queue each (see graph.SearchScratch).
+	scratch := inst.G.NewScratch()
 	for len(selection) < k {
 		attract := make([]int, inst.L())
 		for i, s := range inst.Customers {
@@ -90,15 +94,16 @@ func BRNNCtx(ctx context.Context, inst *data.Instance, opt core.Options) (*data.
 			if nearestSel[i] >= graph.Inf {
 				radius = -1 // unbounded: customer unreached by any selected facility
 			}
-			reach, err := inst.G.DijkstraWithinCtx(ctx, s, radius)
-			if err != nil {
+			if err := inst.G.DijkstraWithinScratchCtx(ctx, s, radius, scratch); err != nil {
 				return nil, err
 			}
-			for node, d := range reach {
-				if j, ok := nodeToFac[node]; ok && !selected[j] && d < nearestSel[i] {
+			nearest := nearestSel[i]
+			scratch.Each(func(node int32, d int64) bool {
+				if j, ok := nodeToFac[node]; ok && !selected[j] && d < nearest {
 					attract[j]++
 				}
-			}
+				return true
+			})
 		}
 		best := -1
 		for j := range attract {

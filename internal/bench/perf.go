@@ -1,0 +1,311 @@
+// Perf suite: the hot-path benchmarks behind scripts/bench.sh and the
+// committed BENCH_*.json trajectory (DESIGN.md §11).
+//
+// Unlike the experiment runners (which reproduce the paper's figures),
+// the perf suite exists to make "faster" a checkable claim over time: it
+// measures the SSPA inner loop — resumable Dijkstra, the reduced-cost
+// FindPair search — plus the end-to-end WMA solve on the city presets,
+// and emits a schema-versioned JSON file that ComparePerf can diff
+// against any earlier run. The bench package is the one layer allowed to
+// read the wall clock (the mcfslint determinism rule), which is why the
+// suite lives here and cmd/mcfsperf stays a thin shell.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"mcfs"
+	"mcfs/internal/bipartite"
+	"mcfs/internal/graph"
+)
+
+// PerfSchema identifies the BENCH_*.json layout. Bump it only for
+// incompatible changes; ComparePerf refuses to diff across schemas.
+const PerfSchema = "mcfs-bench/1"
+
+// PerfConfig tunes a perf-suite run.
+type PerfConfig struct {
+	// Cities selects the presets to measure; nil means aalborg and
+	// copenhagen (quick mode: aalborg only).
+	Cities []string
+	// Quick shrinks the instances for a CI smoke run. Quick numbers are
+	// comparable only to other quick numbers; the file records the mode.
+	Quick bool
+	// Seed drives instance generation (same default as Config.Seed).
+	Seed int64
+	// Variant labels the measured configuration (e.g. "heap" when the
+	// queue override forces the binary heap); recorded in the file.
+	Variant string
+}
+
+// PerfBenchmark is one measured benchmark in a BENCH_*.json file.
+type PerfBenchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// PerfFile is the schema-versioned payload of a BENCH_*.json file.
+type PerfFile struct {
+	Schema     string          `json:"schema"`
+	Created    string          `json:"created"` // RFC3339 UTC
+	GoVersion  string          `json:"go"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	NumCPU     int             `json:"num_cpu"`
+	Variant    string          `json:"variant,omitempty"`
+	Quick      bool            `json:"quick"`
+	Seed       int64           `json:"seed"`
+	Cities     []string        `json:"cities"`
+	Benchmarks []PerfBenchmark `json:"benchmarks"`
+}
+
+// PerfStamp returns a UTC timestamp suitable for BENCH_<stamp>.json
+// filenames.
+func PerfStamp() string { return time.Now().UTC().Format("20060102T150405Z") }
+
+// perfCase is one registered benchmark body.
+type perfCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// RunPerf executes the suite and returns the populated file. Progress
+// lines go through logf (pass nil to silence them).
+func RunPerf(cfg PerfConfig, logf func(format string, args ...any)) (*PerfFile, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cities := cfg.Cities
+	if len(cities) == 0 {
+		if cfg.Quick {
+			cities = []string{"aalborg"}
+		} else {
+			cities = []string{"aalborg", "copenhagen"}
+		}
+	}
+	out := &PerfFile{
+		Schema:    PerfSchema,
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Variant:   cfg.Variant,
+		Quick:     cfg.Quick,
+		Seed:      cfg.Seed,
+		Cities:    cities,
+	}
+	for _, city := range cities {
+		cases, err := cityPerfCases(city, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range cases {
+			logf("bench: %s", c.name)
+			r := testing.Benchmark(c.fn)
+			out.Benchmarks = append(out.Benchmarks, PerfBenchmark{
+				Name:        c.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			logf("bench: %s\t%d\t%.0f ns/op\t%d B/op\t%d allocs/op",
+				c.name, r.N, out.Benchmarks[len(out.Benchmarks)-1].NsPerOp,
+				r.AllocedBytesPerOp(), r.AllocsPerOp())
+		}
+	}
+	return out, nil
+}
+
+// cityPerfCases builds the per-city benchmark bodies over one shared
+// instance (read-only across cases, like the parallel harness audits).
+func cityPerfCases(city string, cfg PerfConfig) ([]perfCase, error) {
+	bcfg := Config{Scale: 1, Seed: cfg.Seed}
+	m, k, c := 512, 51, 20
+	if cfg.Quick {
+		bcfg.Scale = 0.2
+		m, k = 128, 13
+	}
+	inst, err := cityInstance(city, bcfg.normalized(), m, k, c)
+	if err != nil {
+		return nil, fmt.Errorf("bench: perf instance for %s: %w", city, err)
+	}
+	g := inst.G
+	name := func(op string) string { return op + "/" + city }
+
+	// Multi-source set: up to 32 facility nodes spread over the candidate
+	// list; NN/Within sources rotate over the customers.
+	var sources []int32
+	if l := len(inst.Facilities); l > 0 {
+		stride := l / 32
+		if stride < 1 {
+			stride = 1
+		}
+		for j := 0; j < l && len(sources) < 32; j += stride {
+			sources = append(sources, inst.Facilities[j].Node)
+		}
+	}
+	radius := int64(g.AvgEdgeWeight() * 64)
+	if radius < 1 {
+		radius = 1
+	}
+	mask, _ := inst.CandidateMask()
+
+	cases := []perfCase{
+		{name("Dijkstra"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.Dijkstra(inst.Customers[i%len(inst.Customers)])
+			}
+		}},
+		{name("MultiSourceDijkstra"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.MultiSourceDijkstra(sources)
+			}
+		}},
+		{name("DijkstraWithin"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.DijkstraWithin(inst.Customers[i%len(inst.Customers)], radius)
+			}
+		}},
+		{name("NNSearcher"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := graph.NewNNSearcher(g, inst.Customers[i%len(inst.Customers)], mask)
+				for drained := 0; drained < 32; drained++ {
+					if _, _, ok := s.Next(); !ok {
+						break
+					}
+				}
+			}
+		}},
+		{name("FindPair"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mt := bipartite.New(g, inst.Customers, inst.Facilities)
+				for cust := range inst.Customers {
+					if !mt.FindPair(cust) {
+						b.Fatalf("FindPair(%d) found no augmenting path", cust)
+					}
+				}
+			}
+		}},
+		{name("WMA"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mcfs.AlgorithmWMA.Solve(context.Background(), inst, mcfs.WithSeed(cfg.Seed)); err != nil {
+					b.Fatalf("WMA solve: %v", err)
+				}
+			}
+		}},
+	}
+	return cases, nil
+}
+
+// WritePerfFile marshals the file (stable indented JSON) to path.
+func WritePerfFile(f *PerfFile, path string) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadPerfFile loads and schema-checks a BENCH_*.json file.
+func ReadPerfFile(path string) (*PerfFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f PerfFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if f.Schema != PerfSchema {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, f.Schema, PerfSchema)
+	}
+	return &f, nil
+}
+
+// PerfDelta is one benchmark's old-vs-new comparison.
+type PerfDelta struct {
+	Name       string
+	OldNs      float64
+	NewNs      float64
+	Ratio      float64 // new/old wall time; > 1 is slower
+	OldAllocs  int64
+	NewAllocs  int64
+	Regression bool
+}
+
+// ComparePerf diffs two perf files over their shared benchmark names. A
+// benchmark regresses when its ns/op grew by more than threshold (e.g.
+// 1.15 = +15%); missing-on-either-side names are skipped (the suite may
+// gain benchmarks between PRs). Comparing quick and non-quick files is
+// an error — the instance sizes differ.
+func ComparePerf(old, new *PerfFile, threshold float64) ([]PerfDelta, error) {
+	if threshold <= 1 {
+		return nil, fmt.Errorf("bench: compare threshold %v must exceed 1", threshold)
+	}
+	if old.Quick != new.Quick {
+		return nil, fmt.Errorf("bench: cannot compare quick=%v against quick=%v files", old.Quick, new.Quick)
+	}
+	prev := make(map[string]PerfBenchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		prev[b.Name] = b
+	}
+	var deltas []PerfDelta
+	for _, b := range new.Benchmarks {
+		p, ok := prev[b.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		ratio := b.NsPerOp / p.NsPerOp
+		deltas = append(deltas, PerfDelta{
+			Name:       b.Name,
+			OldNs:      p.NsPerOp,
+			NewNs:      b.NsPerOp,
+			Ratio:      ratio,
+			OldAllocs:  p.AllocsPerOp,
+			NewAllocs:  b.AllocsPerOp,
+			Regression: ratio > threshold,
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, nil
+}
+
+// FormatPerfDeltas renders a comparison as an aligned text table and
+// reports the number of regressions.
+func FormatPerfDeltas(deltas []PerfDelta) (string, int) {
+	var sb strings.Builder
+	regressions := 0
+	fmt.Fprintf(&sb, "%-36s %14s %14s %8s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(&sb, "%-36s %14.0f %14.0f %+7.1f%% %10d→%-6d%s\n",
+			d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100, d.OldAllocs, d.NewAllocs, mark)
+	}
+	return sb.String(), regressions
+}

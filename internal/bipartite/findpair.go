@@ -2,6 +2,7 @@ package bipartite
 
 import (
 	"context"
+	"fmt"
 
 	"mcfs/internal/graph"
 )
@@ -40,6 +41,16 @@ func (mt *Matcher) FindPairCtx(ctx context.Context, i int) (matched bool, err er
 		best, bestFac, thr, argmin := mt.shortestPath(i)
 		if best <= thr {
 			if best >= graph.Inf {
+				// "No reachable facility" and "a cancellation poisoned a
+				// searcher mid-expansion" look identical here: a poisoned
+				// searcher reports PeekDist() == Inf, so the threshold never
+				// fires and the search space seems exhausted. Sweep the live
+				// searchers before declaring the customer unservable —
+				// otherwise a cancellation masquerades as infeasibility and
+				// callers like AssignToSelection trust it.
+				if serr := mt.searcherErr(); serr != nil {
+					return false, serr
+				}
 				return false, nil
 			}
 			mt.augment(bestFac, best)
@@ -48,14 +59,40 @@ func (mt *Matcher) FindPairCtx(ctx context.Context, i int) (matched bool, err er
 		// thr < best: an unmaterialized edge could yield a shorter path;
 		// add the minimizing customer's next nearest edge and retry. The
 		// threshold is finite only when that searcher has a next edge, so
-		// materialize only fails here when the searcher was cancelled
-		// mid-expansion.
+		// a failure here is either a cancellation recorded by the searcher
+		// or an invariant breach — both must abort the loop (retrying with
+		// unchanged state would spin forever).
 		if !mt.materialize(argmin) {
-			if serr := mt.searchers[argmin].Err(); serr != nil {
-				return false, serr
-			}
+			return false, mt.materializeFailure(argmin)
 		}
 	}
+}
+
+// searcherErr returns the first cancellation error recorded by any live
+// per-customer searcher (in customer order, so the report is
+// deterministic), or nil when none was interrupted.
+func (mt *Matcher) searcherErr() error {
+	for _, s := range mt.searchers {
+		if s == nil {
+			continue
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// materializeFailure classifies a failed materialization for customer i:
+// a cancellation recorded by the searcher propagates as that error;
+// anything else means the Theorem-1 threshold promised a next edge the
+// searcher does not have — an internal invariant breach reported
+// explicitly rather than silently retried.
+func (mt *Matcher) materializeFailure(i int) error {
+	if serr := mt.searchers[i].Err(); serr != nil {
+		return serr
+	}
+	return fmt.Errorf("bipartite: invariant breach: finite threshold promised customer %d a next edge but its searcher is exhausted", i)
 }
 
 // shortestPath runs the inner search of Algorithm 2, line 8: shortest

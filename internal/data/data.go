@@ -6,6 +6,7 @@
 package data
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -197,14 +198,20 @@ func (in *Instance) EvalObjective(assignment []int) (int64, error) {
 		}
 	}
 	var total int64
+	scratch := in.G.NewScratch() // reused across the per-source searches below
+	ctx := context.Background()
 	if in.G.Directed() {
+		target := make([]int32, 1)
+		d := make([]int64, 1)
 		for i, j := range assignment {
-			target := in.Facilities[j].Node
-			d := in.G.DijkstraToTargets(in.Customers[i], []int32{target})[target]
-			if d >= graph.Inf {
-				return 0, fmt.Errorf("mcfs: facility node %d unreachable from customer node %d", target, in.Customers[i])
+			target[0] = in.Facilities[j].Node
+			if err := in.G.DijkstraToTargetsScratchCtx(ctx, in.Customers[i], target, d, scratch); err != nil {
+				return 0, err
 			}
-			total += d
+			if d[0] >= graph.Inf {
+				return 0, fmt.Errorf("mcfs: facility node %d unreachable from customer node %d", target[0], in.Customers[i])
+			}
+			total += d[0]
 		}
 		return total, nil
 	}
@@ -212,14 +219,20 @@ func (in *Instance) EvalObjective(assignment []int) (int64, error) {
 	for i, j := range assignment {
 		byFac[j] = append(byFac[j], in.Customers[i])
 	}
+	var dist []int64
 	for j, nodes := range byFac {
-		dist := in.G.DijkstraToTargets(in.Facilities[j].Node, nodes)
-		for _, s := range nodes {
-			d := dist[s]
-			if d >= graph.Inf {
+		if cap(dist) < len(nodes) {
+			dist = make([]int64, len(nodes))
+		}
+		dist = dist[:len(nodes)]
+		if err := in.G.DijkstraToTargetsScratchCtx(ctx, in.Facilities[j].Node, nodes, dist, scratch); err != nil {
+			return 0, err
+		}
+		for idx, s := range nodes {
+			if dist[idx] >= graph.Inf {
 				return 0, fmt.Errorf("mcfs: customer node %d unreachable from facility node %d", s, in.Facilities[j].Node)
 			}
-			total += d
+			total += dist[idx]
 		}
 	}
 	return total, nil

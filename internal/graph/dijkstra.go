@@ -2,8 +2,6 @@ package graph
 
 import (
 	"context"
-
-	"mcfs/internal/pq"
 )
 
 // checkEvery is the number of heap pops a graph search performs between
@@ -31,7 +29,7 @@ func (g *Graph) DijkstraCtx(ctx context.Context, src int32) ([]int64, error) {
 		dist[i] = Inf
 	}
 	dist[src] = 0
-	h := pq.NewDense(g.N())
+	h := g.newDenseQueue()
 	h.Push(src, 0)
 	pops := 0
 	for h.Len() > 0 {
@@ -69,7 +67,7 @@ func (g *Graph) DijkstraWithin(src int32, radius int64) map[int32]int64 {
 // and ctx.Err().
 func (g *Graph) DijkstraWithinCtx(ctx context.Context, src int32, radius int64) (map[int32]int64, error) {
 	dist := map[int32]int64{src: 0}
-	h := pq.NewSparse()
+	h := g.newSparseQueue()
 	h.Push(src, 0)
 	pops := 0
 	for h.Len() > 0 {
@@ -115,7 +113,7 @@ func (g *Graph) DijkstraToTargetsCtx(ctx context.Context, src int32, targets []i
 	out := make(map[int32]int64, len(targets))
 	remaining := len(want)
 	dist := map[int32]int64{src: 0}
-	h := pq.NewSparse()
+	h := g.newSparseQueue()
 	h.Push(src, 0)
 	pops := 0
 	for h.Len() > 0 && remaining > 0 {
@@ -171,7 +169,7 @@ func (g *Graph) MultiSourceDijkstraCtx(ctx context.Context, sources []int32) (di
 		dist[i] = Inf
 		owner[i] = -1
 	}
-	h := pq.NewDense(n)
+	h := g.newDenseQueue()
 	for idx, s := range sources {
 		if dist[s] == 0 {
 			continue // duplicate source node; first one wins

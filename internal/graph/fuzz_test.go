@@ -83,6 +83,19 @@ func FuzzDijkstra(f *testing.F) {
 					v, got[v], want[v], n, src, disconnect, seed)
 			}
 		}
+		// Both frontier-queue implementations must agree with the
+		// reference (and each other) on every fuzzed graph.
+		for mode, label := range map[QueueMode]string{QueueHeap: "heap", QueueBucket: "bucket"} {
+			prev := SetQueueMode(mode)
+			forced := g.Dijkstra(src)
+			SetQueueMode(prev)
+			for v := range want {
+				if forced[v] != want[v] {
+					t.Fatalf("%s queue: dist[%d] = %d, want %d (n=%d src=%d maxW=%d seed=%d)",
+						label, v, forced[v], want[v], n, src, maxW, seed)
+				}
+			}
+		}
 		if disconnect {
 			unreachable := false
 			for _, d := range got {

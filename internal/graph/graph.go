@@ -34,7 +34,8 @@ type Graph struct {
 	w        []int64
 	x, y     []float64 // optional coordinates, len N or nil
 	directed bool
-	numEdges int // logical edge count (undirected edges counted once)
+	numEdges int   // logical edge count (undirected edges counted once)
+	maxW     int64 // largest edge weight; sizes the Dial bucket wheel
 }
 
 // Builder accumulates edges and produces a Graph.
@@ -74,6 +75,7 @@ func (b *Builder) Build() (*Graph, error) {
 	if b.x != nil && (len(b.x) != int(n) || len(b.y) != int(n)) {
 		return nil, fmt.Errorf("graph: coords length %d,%d != node count %d", len(b.x), len(b.y), n)
 	}
+	var maxW int64
 	for _, e := range b.edges {
 		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.From, e.To, n)
@@ -83,6 +85,9 @@ func (b *Builder) Build() (*Graph, error) {
 		}
 		if e.Weight >= Inf {
 			return nil, fmt.Errorf("graph: edge (%d,%d) weight %d exceeds Inf", e.From, e.To, e.Weight)
+		}
+		if e.Weight > maxW {
+			maxW = e.Weight
 		}
 	}
 	arcs := len(b.edges)
@@ -120,8 +125,14 @@ func (b *Builder) Build() (*Graph, error) {
 		x: b.x, y: b.y,
 		directed: b.directed,
 		numEdges: len(b.edges),
+		maxW:     maxW,
 	}, nil
 }
+
+// MaxEdgeWeight returns the largest edge weight (0 for an edgeless
+// graph). It drives the frontier-queue selection heuristic: a Dial
+// bucket wheel spans MaxEdgeWeight+1 buckets.
+func (g *Graph) MaxEdgeWeight() int64 { return g.maxW }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return len(g.off) - 1 }

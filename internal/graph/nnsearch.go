@@ -20,7 +20,7 @@ type NNSearcher struct {
 	src    int32
 	isCand []bool // shared, indexed by node id
 	dist   map[int32]int64
-	heap   *pq.SparseHeap
+	heap   pq.Monotone // incremental frontier (see Graph.newIncrementalQueue)
 
 	peekNode int32
 	peekDist int64
@@ -54,7 +54,7 @@ func NewNNSearcherCtx(ctx context.Context, g *Graph, src int32, isCand []bool) *
 		isCand: isCand,
 		ctx:    ctx,
 		dist:   map[int32]int64{src: 0},
-		heap:   pq.NewSparse(),
+		heap:   g.newIncrementalQueue(),
 	}
 	s.heap.Push(src, 0)
 	s.advance()

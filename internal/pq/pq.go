@@ -1,20 +1,33 @@
-// Package pq provides addressable binary min-heaps specialized for the
-// hot paths of Dijkstra's algorithm and the SSPA matching engine, plus a
-// small generic heap for everything else.
+// Package pq provides the priority queues behind the hot paths of
+// Dijkstra's algorithm and the SSPA matching engine — addressable binary
+// min-heaps and a monotone Dial bucket queue — plus a small generic heap
+// for everything else.
 //
-// The specialized heaps key items by int64 priorities and identify items
-// by int32 ids, supporting decrease-key in O(log n). DenseHeap tracks
-// positions in a slice and suits item ids drawn from a small dense range
-// [0, n); SparseHeap tracks positions in a map and suits Dijkstra
-// instances that touch a tiny fraction of a huge graph.
+// The specialized queues key items by int64 priorities and identify
+// items by int32 ids. DenseHeap tracks positions in a slice and suits
+// item ids drawn from a small dense range [0, n); SparseHeap tracks
+// positions in a map and suits Dijkstra instances that touch a tiny
+// fraction of a huge graph; BucketQueue (bucket.go) trades the log
+// factor for a bucket wheel when keys are small positive integers.
+//
+// Determinism: every queue in this package pins the same equal-key pop
+// order — FIFO in key-update time; see the Monotone interface contract
+// in bucket.go. The heaps enforce it by stamping each insert or key
+// change with a monotonically increasing sequence number and comparing
+// (key, seq). This is a deliberate tie-break pin (DESIGN.md §11): it
+// makes solver output byte-identical no matter which queue
+// implementation a search selects.
 package pq
 
 // DenseHeap is an addressable binary min-heap over item ids in [0, n).
-// The zero value is not usable; call NewDense.
+// Among equal keys, the earliest-set key pops first. The zero value is
+// not usable; call NewDense.
 type DenseHeap struct {
 	ids  []int32
 	keys []int64
+	seqs []int64 // key-update stamps: FIFO tie-break among equal keys
 	pos  []int32 // pos[id] = index in ids, or -1 if absent
+	tick int64
 }
 
 // NewDense returns a heap for item ids in [0, n).
@@ -35,21 +48,36 @@ func (h *DenseHeap) Contains(id int32) bool { return h.pos[id] >= 0 }
 // Key returns the current key of id; it must be in the heap.
 func (h *DenseHeap) Key(id int32) int64 { return h.keys[h.pos[id]] }
 
+// less orders heap slots by (key, seq): equal keys pop FIFO.
+func (h *DenseHeap) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+
 // Push inserts id with the given key, or decreases/increases its key if
-// already present.
+// already present. Any key change restamps the item's FIFO position.
 func (h *DenseHeap) Push(id int32, key int64) {
 	if p := h.pos[id]; p >= 0 {
 		old := h.keys[p]
+		if key == old {
+			return
+		}
 		h.keys[p] = key
+		h.seqs[p] = h.tick
+		h.tick++
 		if key < old {
 			h.up(int(p))
-		} else if key > old {
+		} else {
 			h.down(int(p))
 		}
 		return
 	}
 	h.ids = append(h.ids, id)
 	h.keys = append(h.keys, key)
+	h.seqs = append(h.seqs, h.tick)
+	h.tick++
 	h.pos[id] = int32(len(h.ids) - 1)
 	h.up(len(h.ids) - 1)
 }
@@ -62,6 +90,8 @@ func (h *DenseHeap) DecreaseKey(id int32, key int64) {
 			return
 		}
 		h.keys[p] = key
+		h.seqs[p] = h.tick
+		h.tick++
 		h.up(int(p))
 		return
 	}
@@ -80,6 +110,7 @@ func (h *DenseHeap) PopMin() (int32, int64) {
 	h.pos[id] = -1
 	h.ids = h.ids[:len(h.ids)-1]
 	h.keys = h.keys[:len(h.keys)-1]
+	h.seqs = h.seqs[:len(h.seqs)-1]
 	if len(h.ids) > 0 {
 		h.down(0)
 	}
@@ -97,6 +128,7 @@ func (h *DenseHeap) Remove(id int32) {
 	h.pos[id] = -1
 	h.ids = h.ids[:last]
 	h.keys = h.keys[:last]
+	h.seqs = h.seqs[:last]
 	if int(p) < last {
 		h.down(int(p))
 		h.up(int(p))
@@ -110,11 +142,13 @@ func (h *DenseHeap) Reset() {
 	}
 	h.ids = h.ids[:0]
 	h.keys = h.keys[:0]
+	h.seqs = h.seqs[:0]
 }
 
 func (h *DenseHeap) swap(i, j int) {
 	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
 	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
 	h.pos[h.ids[i]] = int32(i)
 	h.pos[h.ids[j]] = int32(j)
 }
@@ -122,7 +156,7 @@ func (h *DenseHeap) swap(i, j int) {
 func (h *DenseHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.keys[parent] <= h.keys[i] {
+		if !h.less(i, parent) {
 			return
 		}
 		h.swap(i, parent)
@@ -135,10 +169,10 @@ func (h *DenseHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.keys[l] < h.keys[small] {
+		if l < n && h.less(l, small) {
 			small = l
 		}
-		if r < n && h.keys[r] < h.keys[small] {
+		if r < n && h.less(r, small) {
 			small = r
 		}
 		if small == i {
@@ -151,10 +185,13 @@ func (h *DenseHeap) down(i int) {
 
 // SparseHeap is an addressable binary min-heap with map-tracked
 // positions, suitable when item ids are sparse in a huge id space.
+// Among equal keys, the earliest-set key pops first.
 type SparseHeap struct {
 	ids  []int32
 	keys []int64
+	seqs []int64
 	pos  map[int32]int32
+	tick int64
 }
 
 // NewSparse returns an empty sparse heap.
@@ -171,20 +208,35 @@ func (h *SparseHeap) Contains(id int32) bool { _, ok := h.pos[id]; return ok }
 // Key returns the current key of id; it must be in the heap.
 func (h *SparseHeap) Key(id int32) int64 { return h.keys[h.pos[id]] }
 
-// Push inserts id with the given key, updating the key if present.
+func (h *SparseHeap) less(i, j int) bool {
+	if h.keys[i] != h.keys[j] {
+		return h.keys[i] < h.keys[j]
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+
+// Push inserts id with the given key, updating the key if present. Any
+// key change restamps the item's FIFO position.
 func (h *SparseHeap) Push(id int32, key int64) {
 	if p, ok := h.pos[id]; ok {
 		old := h.keys[p]
+		if key == old {
+			return
+		}
 		h.keys[p] = key
+		h.seqs[p] = h.tick
+		h.tick++
 		if key < old {
 			h.up(int(p))
-		} else if key > old {
+		} else {
 			h.down(int(p))
 		}
 		return
 	}
 	h.ids = append(h.ids, id)
 	h.keys = append(h.keys, key)
+	h.seqs = append(h.seqs, h.tick)
+	h.tick++
 	h.pos[id] = int32(len(h.ids) - 1)
 	h.up(len(h.ids) - 1)
 }
@@ -197,6 +249,8 @@ func (h *SparseHeap) DecreaseKey(id int32, key int64) {
 			return
 		}
 		h.keys[p] = key
+		h.seqs[p] = h.tick
+		h.tick++
 		h.up(int(p))
 		return
 	}
@@ -215,6 +269,7 @@ func (h *SparseHeap) PopMin() (int32, int64) {
 	delete(h.pos, id)
 	h.ids = h.ids[:len(h.ids)-1]
 	h.keys = h.keys[:len(h.keys)-1]
+	h.seqs = h.seqs[:len(h.seqs)-1]
 	if len(h.ids) > 0 {
 		h.down(0)
 	}
@@ -225,12 +280,14 @@ func (h *SparseHeap) PopMin() (int32, int64) {
 func (h *SparseHeap) Reset() {
 	h.ids = h.ids[:0]
 	h.keys = h.keys[:0]
+	h.seqs = h.seqs[:0]
 	clear(h.pos)
 }
 
 func (h *SparseHeap) swap(i, j int) {
 	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
 	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
 	h.pos[h.ids[i]] = int32(i)
 	h.pos[h.ids[j]] = int32(j)
 }
@@ -238,7 +295,7 @@ func (h *SparseHeap) swap(i, j int) {
 func (h *SparseHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.keys[parent] <= h.keys[i] {
+		if !h.less(i, parent) {
 			return
 		}
 		h.swap(i, parent)
@@ -251,10 +308,10 @@ func (h *SparseHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		small := i
-		if l < n && h.keys[l] < h.keys[small] {
+		if l < n && h.less(l, small) {
 			small = l
 		}
-		if r < n && h.keys[r] < h.keys[small] {
+		if r < n && h.less(r, small) {
 			small = r
 		}
 		if small == i {
