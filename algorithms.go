@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"mcfs/internal/baseline"
+	"mcfs/internal/core"
 )
 
 // Algorithm names one of the package's solvers in the public registry.
@@ -45,28 +48,43 @@ type algorithmEntry struct {
 	run func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error)
 }
 
+// heuristic adapts an internal heuristic solver to the uniform registry
+// shape: options are built (and validated) once, the WithTimeBudget
+// deadline is layered onto the caller's context, and the note is empty.
+// Together with the exact/exhaustive entries below this makes the table
+// the only place that binds public algorithm names to internal
+// implementations — the root Solve*Ctx wrappers all route through
+// Algorithm.Solve (enforced by mcfslint's api-parity rule).
+func heuristic(run func(ctx context.Context, inst *Instance, o options) (*Solution, error)) algorithmEntry {
+	return algorithmEntry{run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
+		o, err := buildOptions(opts)
+		if err != nil {
+			return nil, "", err
+		}
+		ctx, cancel := o.deadlineCtx(ctx)
+		defer cancel()
+		sol, err := run(ctx, inst, o)
+		return sol, "", err
+	}}
+}
+
 // algorithmTable is the single dispatch table behind Algorithm.Solve.
 var algorithmTable = map[Algorithm]algorithmEntry{
-	AlgorithmWMA: {run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
-		sol, err := SolveCtx(ctx, inst, opts...)
-		return sol, "", err
-	}},
-	AlgorithmUniformFirst: {run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
-		sol, err := SolveUniformFirstCtx(ctx, inst, opts...)
-		return sol, "", err
-	}},
-	AlgorithmHilbert: {run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
-		sol, err := SolveHilbertCtx(ctx, inst, opts...)
-		return sol, "", err
-	}},
-	AlgorithmBRNN: {run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
-		sol, err := SolveBRNNCtx(ctx, inst, opts...)
-		return sol, "", err
-	}},
-	AlgorithmNaive: {run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
-		sol, err := SolveNaiveCtx(ctx, inst, opts...)
-		return sol, "", err
-	}},
+	AlgorithmWMA: heuristic(func(ctx context.Context, inst *Instance, o options) (*Solution, error) {
+		return core.SolveCtx(ctx, inst, o.core)
+	}),
+	AlgorithmUniformFirst: heuristic(func(ctx context.Context, inst *Instance, o options) (*Solution, error) {
+		return core.SolveUniformFirstCtx(ctx, inst, o.core)
+	}),
+	AlgorithmHilbert: heuristic(func(ctx context.Context, inst *Instance, o options) (*Solution, error) {
+		return baseline.HilbertCtx(ctx, inst, o.core)
+	}),
+	AlgorithmBRNN: heuristic(func(ctx context.Context, inst *Instance, o options) (*Solution, error) {
+		return baseline.BRNNCtx(ctx, inst, o.core)
+	}),
+	AlgorithmNaive: heuristic(func(ctx context.Context, inst *Instance, o options) (*Solution, error) {
+		return baseline.NaiveCtx(ctx, inst, o.seed, o.core)
+	}),
 	AlgorithmExact: {run: func(ctx context.Context, inst *Instance, opts ...Option) (*Solution, string, error) {
 		res, err := SolveExactCtx(ctx, inst, opts...)
 		if res == nil {

@@ -4,11 +4,17 @@
 package cmd_test
 
 import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -20,7 +26,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	for _, tool := range []string{"mcfsgen", "mcfscli", "mcfsbench", "mcfscompare", "mcfslint"} {
+	for _, tool := range []string{"mcfsgen", "mcfscli", "mcfsbench", "mcfscompare", "mcfslint", "mcfsd"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -149,6 +155,148 @@ func TestCompareTool(t *testing.T) {
 		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
 			t.Fatalf("export %s missing or empty", f)
 		}
+	}
+}
+
+// startMCFSD launches the daemon on a free port and returns its base
+// URL plus a stop function that sends SIGTERM and waits for a clean
+// exit.
+func startMCFSD(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "mcfsd"), append(args, "-addr", "127.0.0.1:0")...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	listenRe := regexp.MustCompile(`listening on (http://\S+)`)
+	var url string
+	for sc.Scan() {
+		if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+			url = m[1]
+			break
+		}
+	}
+	if url == "" {
+		_ = cmd.Process.Kill()
+		t.Fatal("mcfsd never printed its listening address")
+	}
+	// Keep draining stdout so the daemon never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	stop := func() {
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("signal mcfsd: %v", err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("mcfsd did not exit cleanly: %v", err)
+		}
+	}
+	return url, stop
+}
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMCFSDServeSnapshotRestart is the serving smoke: start the daemon
+// on a quickstart-scale instance, query an assignment, churn the
+// population, capture a snapshot, restart from it, and verify the
+// restarted daemon publishes the identical objective before shutting
+// both down cleanly.
+func TestMCFSDServeSnapshotRestart(t *testing.T) {
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "uniform", "-n", "500", "-alpha", "2.5",
+		"-m", "40", "-l", "80", "-cap", "8", "-k", "8",
+		"-seed", "11", "-o", inst)
+
+	url, stop := startMCFSD(t, "-in", inst)
+
+	// Liveness and an assignment query.
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var asg struct {
+		Customer int   `json:"customer"`
+		Facility int   `json:"facility"`
+		Node     int32 `json:"node"`
+	}
+	getJSON(t, url+"/assign?customer=0", &asg)
+	if asg.Customer != 0 {
+		t.Fatalf("assign reply %+v", asg)
+	}
+
+	// Churn so the snapshot captures non-initial state.
+	body := strings.NewReader(fmt.Sprintf(`{"nodes":[%d,%d]}`, asg.Node, asg.Node))
+	post, err := http.Post(url+"/arrivals", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 200 {
+		t.Fatalf("arrivals = %d", post.StatusCode)
+	}
+
+	var before struct {
+		Objective int64 `json:"objective"`
+		Customers int   `json:"customers"`
+	}
+	getJSON(t, url+"/stats", &before)
+
+	// Snapshot to disk.
+	snapPath := filepath.Join(dir, "snap.json")
+	snapResp, err := http.Get(url + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapData, err := io.ReadAll(snapResp.Body)
+	snapResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snapPath, snapData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+
+	// Restart from the snapshot: the published objective must be
+	// byte-identical to the snapshotted one.
+	url2, stop2 := startMCFSD(t, "-in", inst, "-restore", snapPath)
+	defer stop2()
+	var after struct {
+		Objective int64 `json:"objective"`
+		Customers int   `json:"customers"`
+	}
+	getJSON(t, url2+"/stats", &after)
+	if after.Objective != before.Objective || after.Customers != before.Customers {
+		t.Fatalf("restart drifted: objective %d->%d, customers %d->%d",
+			before.Objective, after.Objective, before.Customers, after.Customers)
 	}
 }
 

@@ -1,0 +1,133 @@
+// Command mcfsd is the long-lived assignment service: it loads an MCFS
+// instance once, performs one warm solve (or restores a snapshot), and
+// serves assignment queries and population churn over HTTP/JSON.
+//
+//	mcfsd -in inst.mcfs -addr 127.0.0.1:8080
+//	mcfsd -in inst.mcfs -restore snap.json
+//
+// Endpoints:
+//
+//	GET  /assign?customer=H   resolve a customer handle to its facility
+//	POST /arrivals            {"nodes":[...]} admit customers, returns handles
+//	POST /departures          {"handles":[...]} remove customers
+//	POST /resolve             {"algorithm":"wma"} full re-solve + adopt
+//	GET  /snapshot            restartable JSON capture of the dynamic state
+//	GET  /stats               objective, drift, per-endpoint latency
+//	GET  /healthz             liveness probe
+//
+// The daemon prints "mcfsd: listening on http://ADDR" once the socket
+// is bound (use -addr 127.0.0.1:0 to pick a free port) and drains
+// gracefully on SIGINT/SIGTERM: the listener closes first, then the
+// writer goroutine finishes its batch and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mcfs"
+	"mcfs/internal/serve"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "instance file (required)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+		algo      = flag.String("algo", "wma", "default algorithm for POST /resolve")
+		drift     = flag.Float64("drift", 0, "reallocator drift factor (0 = default 1.5, negative disables)")
+		restore   = flag.String("restore", "", "restore dynamic state from a snapshot file")
+		batch     = flag.Int("batch", 0, "max operations coalesced per repair window (0 = default)")
+		opTimeout = flag.Duration("optimeout", 0, "per-operation deadline (0 = default 5s)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "mcfsd: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	algorithm, err := mcfs.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := mcfs.ReadInstance(f)
+	//lint:ignore closecheck read path: the file is only read, and a parse error dominates any close error
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	var snap *mcfs.ReallocatorSnapshot
+	if *restore != "" {
+		sf, err := os.Open(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		snap, err = mcfs.ReadReallocatorSnapshot(sf)
+		//lint:ignore closecheck read path: the file is only read, and a parse error dominates any close error
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	engine, err := serve.New(serve.Config{
+		Instance:       inst,
+		Algorithm:      algorithm,
+		DriftFactor:    *drift,
+		MaxBatch:       *batch,
+		DefaultTimeout: *opTimeout,
+		Snapshot:       snap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mcfsd: listening on http://%s (objective %d, %d customers)\n",
+		ln.Addr(), engine.Objective(), engine.View().Customers())
+
+	srv := &http.Server{Handler: engine.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("mcfsd: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mcfsd: shutdown:", err)
+		}
+		cancel()
+		<-errCh // Serve has returned ErrServerClosed
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			engine.Close()
+			fatal(err)
+		}
+	}
+	engine.Close()
+	fmt.Println("mcfsd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcfsd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,352 @@
+// The "serve" experiment load-tests the long-lived assignment service
+// (internal/serve, cmd/mcfsd): seeded workers replay a mixed stream of
+// assignment lookups and population churn against the HTTP API and the
+// runner reports per-endpoint latency quantiles plus end-to-end
+// throughput. With Config.ServeURL empty the runner self-hosts an
+// in-process server on a loopback port (the CI mode); pointing ServeURL
+// at a running mcfsd measures the daemon across a real socket.
+//
+// Latency and throughput rows are wall-clock by nature and vary between
+// runs; the op stream itself (which worker issues which request) is
+// fully determined by Config.Seed.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"mcfs"
+	"mcfs/internal/gen"
+	"mcfs/internal/metrics"
+	"mcfs/internal/serve"
+)
+
+func init() {
+	register("serve", runServe)
+}
+
+// serveEndpoints is the emission order of the latency rows.
+var serveEndpoints = []string{"assign", "arrivals", "departures"}
+
+// serveInstance builds the self-hosted workload: a synthetic graph with
+// ample capacity slack so that a bursty arrival phase stays feasible.
+func serveInstance(cfg Config) (*mcfs.Instance, error) {
+	n := int(2000 * cfg.Scale)
+	if n < 160 {
+		n = 160
+	}
+	g, err := gen.Synthetic(gen.SyntheticConfig{N: n, Alpha: 2.5, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	pool := gen.LargestComponent(g)
+	m := n / 10
+	// Open enough capacity for 2x the initial population, so a bursty
+	// arrival phase stays feasible.
+	k := m / 5
+	if k < 8 {
+		k = 8
+	}
+	return &mcfs.Instance{
+		G:          g,
+		Customers:  gen.SampleCustomersFrom(pool, m, rng),
+		Facilities: gen.SampleFacilitiesFrom(pool, n/5, rng, gen.UniformCapacity(10)),
+		K:          k,
+	}, nil
+}
+
+// handlePool is the shared set of live customer handles the workers
+// draw from. take removes a random handle (so no two departures race
+// for the same customer); pick reads one without claiming it.
+type handlePool struct {
+	mu      sync.Mutex
+	handles []int
+}
+
+func (p *handlePool) pick(rng *rand.Rand) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.handles) == 0 {
+		return 0, false
+	}
+	return p.handles[rng.Intn(len(p.handles))], true
+}
+
+func (p *handlePool) take(rng *rand.Rand) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.handles) == 0 {
+		return 0, false
+	}
+	i := rng.Intn(len(p.handles))
+	h := p.handles[i]
+	p.handles[i] = p.handles[len(p.handles)-1]
+	p.handles = p.handles[:len(p.handles)-1]
+	return h, true
+}
+
+func (p *handlePool) add(hs []int) {
+	p.mu.Lock()
+	p.handles = append(p.handles, hs...)
+	p.mu.Unlock()
+}
+
+// serveWorker replays one worker's share of the op stream: roughly 60%
+// assignment lookups, 20% arrivals, 20% departures. It returns one
+// latency histogram per endpoint (indexed like serveEndpoints) plus the
+// number of ops the server rejected as infeasible (422: capacity
+// exhausted — an outcome, not an error).
+func serveWorker(c *http.Client, base string, nodes []int32, pool *handlePool,
+	events int, rng *rand.Rand) (hists [3]*metrics.Histogram, rejected int, err error) {
+	for i := range hists {
+		hists[i] = &metrics.Histogram{}
+	}
+	for i := 0; i < events; i++ {
+		roll := rng.Float64()
+		switch {
+		case roll < 0.6:
+			h, ok := pool.pick(rng)
+			if !ok {
+				h = 0
+			}
+			start := time.Now()
+			status, _, gerr := serveGet(c, fmt.Sprintf("%s/assign?customer=%d", base, h))
+			hists[0].Observe(time.Since(start))
+			if gerr != nil {
+				return hists, rejected, gerr
+			}
+			// 404 is a live outcome: the handle departed between pick
+			// and lookup.
+			if status != 200 && status != 404 {
+				return hists, rejected, fmt.Errorf("assign: status %d", status)
+			}
+		case roll < 0.8:
+			node := nodes[rng.Intn(len(nodes))]
+			var churn struct {
+				Handles []int `json:"handles"`
+			}
+			start := time.Now()
+			status, perr := servePost(c, base+"/arrivals",
+				map[string][]int32{"nodes": {node}}, &churn)
+			hists[1].Observe(time.Since(start))
+			if perr != nil {
+				return hists, rejected, perr
+			}
+			switch status {
+			case 200:
+				pool.add(churn.Handles)
+			case 422:
+				rejected++
+			default:
+				return hists, rejected, fmt.Errorf("arrivals: status %d", status)
+			}
+		default:
+			h, ok := pool.take(rng)
+			if !ok {
+				continue // population drained; skip the departure
+			}
+			start := time.Now()
+			status, perr := servePost(c, base+"/departures",
+				map[string][]int{"handles": {h}}, nil)
+			hists[2].Observe(time.Since(start))
+			if perr != nil {
+				return hists, rejected, perr
+			}
+			if status != 200 {
+				return hists, rejected, fmt.Errorf("departures: status %d", status)
+			}
+		}
+	}
+	return hists, rejected, nil
+}
+
+func serveGet(c *http.Client, url string) (status int, body []byte, err error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func servePost(c *http.Client, url string, in, out any) (status int, err error) {
+	buf, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode == 200 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s: bad response %q: %v", url, raw, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// runServe drives the load phase and emits stat rows (Algo empty):
+// one latency row per endpoint, a throughput row, and the server's
+// closing objective/drift.
+func runServe(cfg Config, emit func(Row)) error {
+	base := cfg.ServeURL
+	var stop func() error
+	if base == "" {
+		inst, err := serveInstance(cfg)
+		if err != nil {
+			return err
+		}
+		eng, err := serve.New(serve.Config{Instance: inst})
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			eng.Close()
+			return err
+		}
+		srv := &http.Server{Handler: eng.Handler()}
+		errCh := make(chan error, 1)
+		go func() { errCh <- srv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		stop = func() error {
+			cerr := srv.Close()
+			<-errCh // Serve has returned
+			eng.Close()
+			return cerr
+		}
+	}
+
+	// Bootstrap the live population (handles and their nodes) from a
+	// snapshot — the same restartable capture mcfsd persists.
+	client := &http.Client{Timeout: 30 * time.Second}
+	status, body, err := serveGet(client, base+"/snapshot")
+	if err == nil && status != 200 {
+		err = fmt.Errorf("bench: snapshot bootstrap: status %d", status)
+	}
+	if err != nil {
+		if stop != nil {
+			stop()
+		}
+		return err
+	}
+	snap, err := mcfs.ReadReallocatorSnapshot(bytes.NewReader(body))
+	if err != nil {
+		if stop != nil {
+			stop()
+		}
+		return err
+	}
+
+	events := cfg.ServeEvents
+	if events <= 0 {
+		events = int(600 * cfg.Scale)
+		if events < 24 {
+			events = 24
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > events {
+		workers = events
+	}
+
+	pool := &handlePool{handles: append([]int(nil), snap.Handles...)}
+	nodes := snap.CustomerNodes
+
+	type result struct {
+		hists    [3]*metrics.Histogram
+		rejected int
+		err      error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for w := 0; w < workers; w++ {
+		share := events / workers
+		if w < events%workers {
+			share++
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000*int64(w)))
+			h, rej, werr := serveWorker(client, base, nodes, pool, share, rng)
+			results[w] = result{hists: h, rejected: rej, err: werr}
+		}(w, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(loadStart)
+
+	// The closing stats come from the server itself, before teardown.
+	var st serve.StatsReply
+	stStatus, stBody, stErr := serveGet(client, base+"/stats")
+	if stErr == nil && stStatus == 200 {
+		stErr = json.Unmarshal(stBody, &st)
+	} else if stErr == nil {
+		stErr = fmt.Errorf("bench: stats: status %d", stStatus)
+	}
+	if stop != nil {
+		if serr := stop(); serr != nil && stErr == nil {
+			stErr = serr
+		}
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("bench: serve load worker: %w", r.err)
+		}
+	}
+	if stErr != nil {
+		return stErr
+	}
+
+	merged := [3]*metrics.Histogram{{}, {}, {}}
+	rejected := 0
+	for _, r := range results {
+		for i := range merged {
+			merged[i].Merge(r.hists[i])
+		}
+		rejected += r.rejected
+	}
+	var totalOps int64
+	for i, name := range serveEndpoints {
+		h := merged[i]
+		totalOps += h.Count()
+		emit(Row{
+			Exp: "serve", X: name, XVal: float64(h.Count()), Objective: -1,
+			Note: fmt.Sprintf("n=%d p50=%s p99=%s max=%s", h.Count(),
+				h.Quantile(0.5).Round(time.Microsecond),
+				h.Quantile(0.99).Round(time.Microsecond),
+				h.Max().Round(time.Microsecond)),
+		})
+	}
+	throughput := float64(totalOps) / elapsed.Seconds()
+	emit(Row{
+		Exp: "serve", X: "throughput", XVal: throughput, Objective: -1, Runtime: elapsed,
+		Note: fmt.Sprintf("%.0f req/s (%d ops, %d workers, %d rejected, %s)",
+			throughput, totalOps, workers, rejected, elapsed.Round(time.Millisecond)),
+	})
+	emit(Row{
+		Exp: "serve", X: "objective", XVal: float64(st.Objective), Objective: st.Objective,
+		Note: fmt.Sprintf("customers=%d drift=%.3f batches=%d batched_ops=%d",
+			st.Customers, st.Drift, st.Batches, st.BatchedOps),
+	})
+	return nil
+}

@@ -1,0 +1,69 @@
+package dynamic
+
+import "fmt"
+
+// Published is an immutable view of the assignment a Reallocator is
+// currently serving, built for the publish/swap read path of a serving
+// process: the writer goroutine calls Publish after each repair batch
+// and swaps the result into an atomic pointer, and any number of reader
+// goroutines resolve queries against it without locks — nothing in a
+// Published value aliases the Reallocator's mutable state.
+type Published struct {
+	// Objective is the total assignment distance being served.
+	Objective int64
+	// Selected holds the open facilities as candidate-catalogue indexes.
+	Selected []int
+	// Handles, Nodes and Assignment are parallel: customer Handles[i]
+	// sits at network node Nodes[i] and is served by catalogue facility
+	// Assignment[i].
+	Handles    []int
+	Nodes      []int32
+	Assignment []int
+
+	pos map[int]int // handle → index into the parallel slices
+}
+
+// Publish materializes the current assignment as an immutable view,
+// applying pending departures first. Every slice and map is freshly
+// allocated; the caller may share the result across goroutines freely.
+func (r *Reallocator) Publish() (*Published, error) {
+	if err := r.flush(); err != nil {
+		return nil, err
+	}
+	p := &Published{
+		Objective:  r.mt.TotalMatchedCost(),
+		Selected:   append([]int(nil), r.selected...),
+		Handles:    append([]int(nil), r.handleOf...),
+		Nodes:      make([]int32, len(r.handleOf)),
+		Assignment: make([]int, len(r.handleOf)),
+		pos:        make(map[int]int, len(r.handleOf)),
+	}
+	for i, h := range p.Handles {
+		facs, _ := r.mt.Matches(i)
+		if len(facs) != 1 {
+			return nil, fmt.Errorf("dynamic: customer %d holds %d assignments", h, len(facs))
+		}
+		p.Nodes[i] = r.customers[h]
+		p.Assignment[i] = r.selected[facs[0]]
+		p.pos[h] = i
+	}
+	return p, nil
+}
+
+// Customers returns the number of customers in the view.
+func (p *Published) Customers() int { return len(p.Handles) }
+
+// Lookup resolves a customer handle to its network node and assigned
+// catalogue facility index; ok is false for handles not in the view.
+// Safe for concurrent use (the view is immutable).
+func (p *Published) Lookup(handle int) (node int32, facility int, ok bool) {
+	i, ok := p.pos[handle]
+	if !ok {
+		return 0, 0, false
+	}
+	return p.Nodes[i], p.Assignment[i], true
+}
+
+// BaseObjective returns the drift baseline: the objective right after
+// the last full solve, adoption, or restore.
+func (r *Reallocator) BaseObjective() int64 { return r.baseObjective }

@@ -28,6 +28,14 @@ import (
 	"mcfs/internal/graph"
 )
 
+// ErrUnknownHandle is returned by RemoveCustomer for a handle that is
+// not (or no longer) live.
+var ErrUnknownHandle = errors.New("dynamic: unknown customer handle")
+
+// ErrBadNode is returned by AddCustomer for a node index outside the
+// network.
+var ErrBadNode = errors.New("dynamic: bad node")
+
 // Options tunes a Reallocator.
 type Options struct {
 	// Core configures the underlying WMA solves.
@@ -41,10 +49,11 @@ type Options struct {
 
 // Stats counts the work a Reallocator has performed.
 type Stats struct {
-	FullSolves int // complete WMA re-selections
-	Rebuilds   int // assignment rebuilds (removal batches, re-selections)
-	Arrivals   int
-	Departures int
+	FullSolves int `json:"full_solves"` // complete WMA re-selections
+	Rebuilds   int `json:"rebuilds"`    // assignment rebuilds (removal batches, re-selections)
+	Adoptions  int `json:"adoptions"`   // externally computed selections installed (Adopt*)
+	Arrivals   int `json:"arrivals"`
+	Departures int `json:"departures"`
 }
 
 // Reallocator maintains an MCFS solution under customer churn.
@@ -82,22 +91,9 @@ func New(inst *data.Instance, opt Options) (*Reallocator, error) {
 // the next operation under a live context transparently rebuilds it —
 // the Reallocator itself stays usable.
 func NewCtx(ctx context.Context, inst *data.Instance, opt Options) (*Reallocator, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := inst.Validate(); err != nil {
+	r, err := skeleton(ctx, inst, opt)
+	if err != nil {
 		return nil, err
-	}
-	if opt.DriftFactor == 0 {
-		opt.DriftFactor = 1.5
-	}
-	r := &Reallocator{
-		ctx:        ctx,
-		g:          inst.G,
-		facilities: inst.Facilities,
-		k:          inst.K,
-		opt:        opt,
-		customers:  make(map[int]int32, inst.M()),
 	}
 	for _, node := range inst.Customers {
 		r.customers[r.nextID] = node
@@ -108,6 +104,57 @@ func NewCtx(ctx context.Context, inst *data.Instance, opt Options) (*Reallocator
 		return nil, err
 	}
 	return r, nil
+}
+
+// Adopt builds a Reallocator around an externally computed facility
+// selection instead of running WMA: the instance's customers become
+// handles 0..m-1, the selection is installed as-is, and the optimal
+// assignment to it is built. This is how a serving process starts from
+// any registered algorithm's solution (or any custom strategy) and then
+// maintains it incrementally.
+func Adopt(inst *data.Instance, selected []int, opt Options) (*Reallocator, error) {
+	return AdoptCtx(context.Background(), inst, selected, opt)
+}
+
+// AdoptCtx is Adopt with cooperative cancellation; the context contract
+// matches NewCtx.
+func AdoptCtx(ctx context.Context, inst *data.Instance, selected []int, opt Options) (*Reallocator, error) {
+	r, err := skeleton(ctx, inst, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, node := range inst.Customers {
+		r.customers[r.nextID] = node
+		r.order = append(r.order, r.nextID)
+		r.nextID++
+	}
+	if err := r.adopt(selected); err != nil {
+		return nil, err
+	}
+	r.stats.Adoptions++
+	return r, nil
+}
+
+// skeleton validates the instance and builds an empty Reallocator with
+// no customers, no selection, and no matching.
+func skeleton(ctx context.Context, inst *data.Instance, opt Options) (*Reallocator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.DriftFactor == 0 {
+		opt.DriftFactor = 1.5
+	}
+	return &Reallocator{
+		ctx:        ctx,
+		g:          inst.G,
+		facilities: inst.Facilities,
+		k:          inst.K,
+		opt:        opt,
+		customers:  make(map[int]int32, inst.M()),
+	}, nil
 }
 
 // instance materializes the current population as a data.Instance.
@@ -143,6 +190,47 @@ func (r *Reallocator) fullSolve() error {
 		// The new selection is installed but unmatched; force a rebuild on
 		// the next operation.
 		r.pendingRm = true
+		return err
+	}
+	r.baseObjective = r.mt.TotalMatchedCost()
+	return nil
+}
+
+// AdoptSelection installs an externally computed facility selection —
+// e.g. a full re-solve by any registered algorithm — and rebuilds the
+// optimal assignment of the live population to it. On failure
+// (unservable population, cancellation) the previous selection is kept
+// and the Reallocator stays usable. Success resets the drift baseline,
+// exactly like a WMA re-selection.
+func (r *Reallocator) AdoptSelection(selected []int) error {
+	old := r.selected
+	if err := r.adopt(selected); err != nil {
+		r.selected = old
+		return err
+	}
+	r.stats.Adoptions++
+	return nil
+}
+
+// adopt validates and installs a selection and rebuilds the matching;
+// on error r.selected is left as the caller's installed value (callers
+// that need rollback keep the old slice).
+func (r *Reallocator) adopt(selected []int) error {
+	if len(selected) > r.k {
+		return fmt.Errorf("dynamic: selection of %d facilities exceeds budget k=%d", len(selected), r.k)
+	}
+	seen := make(map[int]bool, len(selected))
+	for _, j := range selected {
+		if j < 0 || j >= len(r.facilities) {
+			return fmt.Errorf("dynamic: selected facility index %d out of range", j)
+		}
+		if seen[j] {
+			return fmt.Errorf("dynamic: facility %d selected twice", j)
+		}
+		seen[j] = true
+	}
+	r.selected = append([]int(nil), selected...)
+	if err := r.rebuild(); err != nil {
 		return err
 	}
 	r.baseObjective = r.mt.TotalMatchedCost()
@@ -193,7 +281,7 @@ func (r *Reallocator) flush() error {
 // the full candidate catalogue cannot serve the population.
 func (r *Reallocator) AddCustomer(node int32) (int, error) {
 	if node < 0 || int(node) >= r.g.N() {
-		return 0, fmt.Errorf("dynamic: node %d out of range", node)
+		return 0, fmt.Errorf("%w: node %d outside [0,%d)", ErrBadNode, node, r.g.N())
 	}
 	if err := r.flush(); err != nil && !errors.Is(err, data.ErrInfeasible) {
 		return 0, err
@@ -243,7 +331,7 @@ func (r *Reallocator) AddCustomer(node int32) (int, error) {
 // is rebuilt lazily at the next query or arrival.
 func (r *Reallocator) RemoveCustomer(handle int) error {
 	if _, ok := r.customers[handle]; !ok {
-		return fmt.Errorf("dynamic: unknown customer handle %d", handle)
+		return fmt.Errorf("%w: %d", ErrUnknownHandle, handle)
 	}
 	r.dropHandle(handle)
 	r.stats.Departures++

@@ -1,0 +1,152 @@
+package dynamic
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mcfs/internal/data"
+)
+
+// SnapshotVersion identifies the snapshot JSON layout; ReadSnapshot
+// refuses newer versions.
+const SnapshotVersion = 1
+
+// Snapshot is a restartable capture of a Reallocator's dynamic state:
+// the live customer population with its handles, the open selection,
+// and the drift baseline. The static instance material (network,
+// candidate catalogue, budget) is deliberately not embedded — a restore
+// is performed against the same instance the process loads anyway, and
+// the fingerprint fields guard against pairing a snapshot with the
+// wrong one. RestoreCtx rebuilds the optimal matching from the captured
+// selection, so the restored objective is exactly the minimum-cost
+// assignment the snapshotted process was serving.
+type Snapshot struct {
+	Version int `json:"version"`
+
+	// Instance fingerprint, checked by RestoreCtx.
+	Nodes         int `json:"nodes"`
+	Edges         int `json:"edges"`
+	FacilityCount int `json:"facility_count"`
+	K             int `json:"k"`
+
+	// Dynamic state. Handles[i] is the live handle of the customer at
+	// CustomerNodes[i], in the Reallocator's deterministic order.
+	NextID        int     `json:"next_id"`
+	BaseObjective int64   `json:"base_objective"`
+	Selected      []int   `json:"selected"`
+	Handles       []int   `json:"handles"`
+	CustomerNodes []int32 `json:"customer_nodes"`
+	Stats         Stats   `json:"stats"`
+}
+
+// Snapshot captures the current state. Pending departures are applied
+// first so the capture is canonical; the error is that flush's.
+func (r *Reallocator) Snapshot() (*Snapshot, error) {
+	if err := r.flush(); err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		Version:       SnapshotVersion,
+		Nodes:         r.g.N(),
+		Edges:         r.g.M(),
+		FacilityCount: len(r.facilities),
+		K:             r.k,
+		NextID:        r.nextID,
+		BaseObjective: r.baseObjective,
+		Selected:      append([]int(nil), r.selected...),
+		Handles:       append([]int(nil), r.order...),
+		CustomerNodes: make([]int32, len(r.order)),
+		Stats:         r.stats,
+	}
+	for i, h := range r.order {
+		s.CustomerNodes[i] = r.customers[h]
+	}
+	return s, nil
+}
+
+// Write serializes the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(buf, '\n'))
+	return err
+}
+
+// ReadSnapshot parses and structurally validates a snapshot document.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("dynamic: bad snapshot: %w", err)
+	}
+	if s.Version != SnapshotVersion {
+		return nil, fmt.Errorf("dynamic: snapshot version %d, want %d", s.Version, SnapshotVersion)
+	}
+	if len(s.Handles) != len(s.CustomerNodes) {
+		return nil, fmt.Errorf("dynamic: snapshot has %d handles for %d customers",
+			len(s.Handles), len(s.CustomerNodes))
+	}
+	return &s, nil
+}
+
+// checkAgainst validates the snapshot against the instance it is being
+// restored onto: fingerprint fields and index ranges.
+func (s *Snapshot) checkAgainst(inst *data.Instance) error {
+	if s.Nodes != inst.G.N() || s.Edges != inst.G.M() ||
+		s.FacilityCount != inst.L() || s.K != inst.K {
+		return fmt.Errorf("dynamic: snapshot fingerprint (n=%d edges=%d l=%d k=%d) does not match instance (n=%d edges=%d l=%d k=%d)",
+			s.Nodes, s.Edges, s.FacilityCount, s.K,
+			inst.G.N(), inst.G.M(), inst.L(), inst.K)
+	}
+	seen := make(map[int]bool, len(s.Handles))
+	for i, h := range s.Handles {
+		if h < 0 || h >= s.NextID {
+			return fmt.Errorf("dynamic: snapshot handle %d outside [0,%d)", h, s.NextID)
+		}
+		if seen[h] {
+			return fmt.Errorf("dynamic: duplicate snapshot handle %d", h)
+		}
+		seen[h] = true
+		if node := s.CustomerNodes[i]; node < 0 || int(node) >= inst.G.N() {
+			return fmt.Errorf("dynamic: snapshot customer %d at invalid node %d", h, node)
+		}
+	}
+	return nil
+}
+
+// Restore is RestoreCtx with context.Background(); see NewCtx for the
+// context contract.
+func Restore(inst *data.Instance, s *Snapshot, opt Options) (*Reallocator, error) {
+	return RestoreCtx(context.Background(), inst, s, opt)
+}
+
+// RestoreCtx reconstructs a Reallocator from a snapshot taken against
+// an identical instance: the captured population keeps its handles, the
+// captured selection is reinstalled, and the optimal matching is
+// rebuilt — reproducing the snapshotted objective exactly (the
+// minimum-cost assignment to a fixed selection is unique in value). The
+// work counters resume from the captured Stats.
+func RestoreCtx(ctx context.Context, inst *data.Instance, s *Snapshot, opt Options) (*Reallocator, error) {
+	if err := s.checkAgainst(inst); err != nil {
+		return nil, err
+	}
+	r, err := skeleton(ctx, inst, opt)
+	if err != nil {
+		return nil, err
+	}
+	r.nextID = s.NextID
+	for i, h := range s.Handles {
+		r.customers[h] = s.CustomerNodes[i]
+		r.order = append(r.order, h)
+	}
+	if err := r.adopt(s.Selected); err != nil {
+		return nil, err
+	}
+	r.baseObjective = s.BaseObjective
+	r.stats = s.Stats
+	return r, nil
+}

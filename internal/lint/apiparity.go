@@ -20,6 +20,14 @@ import (
 // variable shadowing it no longer passes) and the first argument must
 // resolve to the real context.Background (a local helper named
 // `context.Background` behind a renamed import no longer does).
+//
+// The rule's second half guards the Algorithm registry: algorithms.go is
+// the root package's single binding between public algorithm names and
+// the internal solver implementations, and every root Solve entry point
+// routes through it. Any other root file that reaches the baseline
+// package or a core Solve* function directly has re-opened a private
+// dispatch path that the registry (and everything enumerating it —
+// commands, the bench harness, the serving daemon) will not see.
 type APIParity struct{}
 
 // Name implements Rule.
@@ -27,7 +35,7 @@ func (APIParity) Name() string { return "api-parity" }
 
 // Doc implements Rule.
 func (APIParity) Doc() string {
-	return "exported Solve*/Improve*/New* with a *Ctx sibling must delegate to it with context.Background()"
+	return "exported Solve*/Improve*/New* with a *Ctx sibling must delegate to it with context.Background(); internal solvers bind only in algorithms.go"
 }
 
 // apiParityPrefixes are the entry-point families the rule covers.
@@ -72,6 +80,84 @@ func (APIParity) Check(pkg *Package, report ReportFunc) {
 				name, name, name)
 		}
 	}
+
+	checkRegistryBypass(pkg, report)
+}
+
+// registryFile is the one root file allowed to bind algorithm names to
+// internal solver implementations.
+const registryFile = "algorithms.go"
+
+// registrySolverPkgs are the internal packages whose solve entry points
+// must only be reached through the registry: the baseline package
+// entirely, and the core package's Solve* family (core's non-Solve
+// helpers — option types, AssignToSelection — remain fair game for the
+// rest of the root package).
+var registrySolverPkgs = map[string]func(name string) bool{
+	"mcfs/internal/baseline": func(string) bool { return true },
+	"mcfs/internal/core":     func(name string) bool { return strings.HasPrefix(name, "Solve") },
+}
+
+// checkRegistryBypass reports root-package selector references into the
+// guarded internal solver packages outside algorithms.go. With type
+// information the package qualifier is resolved through the import path
+// (robust against renamed imports); without it the check is by the
+// conventional package spelling.
+func checkRegistryBypass(pkg *Package, report ReportFunc) {
+	for _, f := range pkg.Files {
+		if f.Test || f.Path == registryFile {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := importedPath(pkg, f, x)
+			if !ok {
+				return true
+			}
+			guarded, ok := registrySolverPkgs[pkgPath]
+			if !ok || !guarded(sel.Sel.Name) {
+				return true
+			}
+			report(f, sel.Pos(),
+				"%s.%s bypasses the Algorithm registry; bind internal solvers in %s and dispatch through Algorithm.Solve",
+				x.Name, sel.Sel.Name, registryFile)
+			return true
+		})
+	}
+}
+
+// importedPath resolves a package-qualifier identifier to its import
+// path: by type information when available, else by matching the file's
+// imports against the conventional package name.
+func importedPath(pkg *Package, f *File, x *ast.Ident) (string, bool) {
+	if pkg.Typed() {
+		pn, ok := pkg.ObjectOf(x).(*types.PkgName)
+		if !ok {
+			return "", false
+		}
+		return pn.Imported().Path(), true
+	}
+	for _, imp := range f.AST.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == x.Name {
+			return path, true
+		}
+	}
+	return "", false
 }
 
 // hasParityPrefix reports whether name belongs to a covered family.

@@ -1,0 +1,14 @@
+package fixture
+
+import (
+	"mcfs/internal/baseline"
+	"mcfs/internal/core"
+)
+
+// algorithms.go is the sanctioned registry file: binding internal
+// solver implementations here is the point, not a finding.
+func registryBindings() {
+	baseline.HilbertCtx()
+	core.SolveCtx()
+	core.SolveUniformFirstCtx()
+}

@@ -1,0 +1,134 @@
+// Package metrics provides the latency histogram shared by the serving
+// layer (per-endpoint request latencies in mcfsd's /stats) and the bench
+// load generator (p50/p99 rows for the serve experiment). It lives in
+// its own leaf package because both internal/serve and internal/bench
+// need it and bench already depends on the public API that serve is
+// built on.
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// histSub is the number of linear sub-buckets per power-of-two range.
+// Eight sub-buckets bound the quantile estimation error at ~12.5% of the
+// value, which is plenty for p50/p99 latency reporting.
+const histSub = 8
+
+// histBuckets covers durations up to ~2^40 ns (~18 minutes) with one
+// power-of-two range per exponent; observations beyond the last range
+// clamp into it.
+const histBuckets = 41 * histSub
+
+// Histogram accumulates durations into log-linear buckets. The zero
+// value is ready to use. It is not safe for concurrent use; either give
+// each goroutine its own histogram and Merge, or guard it with a mutex.
+type Histogram struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	max    int64
+}
+
+// bucketOf maps a non-negative nanosecond reading to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < histSub {
+		return int(ns) // the first ranges are exact
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // floor(log2 ns) >= 3
+	frac := (ns >> (exp - 3)) & (histSub - 1)
+	idx := (exp-2)*histSub + int(frac)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// lowerBound returns the smallest nanosecond reading mapped to bucket i
+// (the inverse of bucketOf on range starts).
+func lowerBound(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	exp := i/histSub + 2
+	frac := int64(i % histSub)
+	return (1 << exp) + frac<<(exp-3)
+}
+
+// Observe records one duration; negative readings clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average observed duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper estimate of the q-quantile (q in [0,1]):
+// the lower bound of the first bucket whose cumulative count reaches
+// q·Count, plus one sub-bucket width, clamped to the exact observed
+// maximum (so a high quantile never reads above Max). Returns 0 on an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			width := lowerBound(i+1) - lowerBound(i)
+			if width < 1 {
+				width = 1
+			}
+			est := lowerBound(i) + width - 1
+			if est > h.max {
+				est = h.max
+			}
+			return time.Duration(est)
+		}
+	}
+	return time.Duration(h.max)
+}

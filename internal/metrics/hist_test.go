@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramExactSmall(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 8; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Max() != 7 {
+		t.Fatalf("max = %d, want 7", h.Max())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 7 {
+		t.Fatalf("q1 = %d, want 7", got)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and
+	// bucket indexes must be monotone in the observed value.
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketOf(lowerBound(i)); got != i {
+			t.Fatalf("bucketOf(lowerBound(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for ns := int64(0); ns < 1<<20; ns += 137 {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d: %d < %d", ns, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	var raw []int64
+	for i := 0; i < 20000; i++ {
+		// Latency-shaped: mostly microseconds, a long tail to ~100ms.
+		ns := int64(1000 + rng.ExpFloat64()*float64(50*time.Microsecond))
+		if rng.Intn(100) == 0 {
+			ns += int64(rng.Intn(int(100 * time.Millisecond)))
+		}
+		raw = append(raw, ns)
+		h.Observe(time.Duration(ns))
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := raw[int(q*float64(len(raw)))-1]
+		got := int64(h.Quantile(q))
+		// The log-linear buckets bound the error at one sub-bucket width
+		// (~12.5%); allow a little slack for the rank rounding.
+		if got < exact-exact/4 || got > exact+exact/4+1 {
+			t.Fatalf("q%.2f = %d, exact %d (off by more than 25%%)", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Int63n(int64(time.Millisecond)))
+		whole.Observe(d)
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merge mismatch: count %d/%d max %v/%v mean %v/%v",
+			a.Count(), whole.Count(), a.Max(), whole.Max(), a.Mean(), whole.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("merged q%.2f = %v, want %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramClampAndEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second) // clamps to zero
+	h.Observe(48 * time.Hour)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1) <= 0 {
+		t.Fatal("clamped huge observation lost")
+	}
+}
+
+// A high quantile's bucket upper bound must never read above the exact
+// tracked maximum (p99 > max in a latency report is nonsense).
+func TestHistogramQuantileNotAboveMax(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(8685 * time.Microsecond) // lands mid-bucket
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got > h.Max() {
+			t.Fatalf("q%.2f = %v exceeds max %v", q, got, h.Max())
+		}
+	}
+}

@@ -1,0 +1,594 @@
+// Package serve implements the long-lived assignment service behind
+// cmd/mcfsd: an instance is loaded once, a warm Reallocator tracks the
+// customer population, and HTTP/JSON endpoints expose queries and
+// churn.
+//
+// The concurrency model is single-writer/many-readers. Reads (/assign,
+// /stats, /healthz) are served lock-free from an immutable published
+// view swapped through an atomic pointer. Writes (/arrivals,
+// /departures, /resolve, /snapshot — anything touching the Reallocator)
+// are serialized through one batching goroutine that drains its queue,
+// coalesces up to MaxBatch operations into one repair window, publishes
+// a fresh view once, and only then releases the waiting requests.
+// Request deadlines map onto the Reallocator's context API: each
+// operation runs under its request's context (bounded by
+// DefaultTimeout), and a cancelled operation leaves the matching stale
+// only until the next operation under a live context heals it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mcfs"
+	"mcfs/internal/dynamic"
+	"mcfs/internal/metrics"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Instance is the loaded problem instance; required.
+	Instance *mcfs.Instance
+	// Algorithm is the default /resolve algorithm; empty means WMA.
+	Algorithm mcfs.Algorithm
+	// DriftFactor is passed to the Reallocator (0 = its default).
+	DriftFactor float64
+	// MaxBatch caps how many queued operations one repair window
+	// coalesces; 0 picks 64.
+	MaxBatch int
+	// DefaultTimeout bounds each write operation's context when the
+	// request itself carries no earlier deadline; 0 picks 5s.
+	DefaultTimeout time.Duration
+	// Snapshot, when non-nil, restores the dynamic state from a capture
+	// instead of performing a fresh full solve.
+	Snapshot *mcfs.ReallocatorSnapshot
+}
+
+// errShutdown is returned to requests that arrive while the server is
+// draining.
+var errShutdown = errors.New("serve: server is shutting down")
+
+// view is the unit of publication: the immutable assignment plus the
+// scalar state the read-only endpoints report.
+type view struct {
+	pub   *mcfs.PublishedAssignment
+	base  int64
+	stats mcfs.ReallocatorStats
+}
+
+// endpointNames fixes the catalogue (and report order) of instrumented
+// endpoints.
+var endpointNames = []string{"assign", "arrivals", "departures", "resolve", "snapshot", "stats"}
+
+// Server is the serving engine. Create one with New, mount Handler on
+// an http.Server, and Close it to drain the writer goroutine.
+type Server struct {
+	cfg  Config
+	r    *mcfs.Reallocator
+	view atomic.Pointer[view]
+
+	ops  chan op
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	batches    atomic.Int64 // repair windows run
+	batchedOps atomic.Int64 // operations processed inside them
+
+	mu    sync.Mutex
+	lat   map[string]*metrics.Histogram
+	start time.Time
+
+	closeOnce sync.Once
+}
+
+// New loads the instance into a warm Reallocator (restoring from
+// cfg.Snapshot when given), publishes the initial view, and starts the
+// writer goroutine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Instance == nil {
+		return nil, errors.New("serve: Config.Instance is required")
+	}
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = mcfs.AlgorithmWMA
+	}
+	if !cfg.Algorithm.Valid() {
+		return nil, fmt.Errorf("serve: unknown algorithm %q", cfg.Algorithm)
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 5 * time.Second
+	}
+	var r *mcfs.Reallocator
+	var err error
+	if cfg.Snapshot != nil {
+		r, err = mcfs.RestoreReallocator(cfg.Instance, cfg.Snapshot, cfg.DriftFactor)
+	} else {
+		r, err = mcfs.NewReallocator(cfg.Instance, cfg.DriftFactor)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		r:    r,
+		ops:  make(chan op, 4*cfg.MaxBatch),
+		quit: make(chan struct{}),
+		lat:  make(map[string]*metrics.Histogram, len(endpointNames)),
+	}
+	//lint:ignore determinism serving uptime is operational telemetry, never solver input
+	s.start = time.Now()
+	for _, name := range endpointNames {
+		s.lat[name] = &metrics.Histogram{}
+	}
+	if err := s.publish(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	//lint:ignore nakedgoroutine the writer goroutine is joined by Close via s.wg
+	go s.loop()
+	return s, nil
+}
+
+// Close stops the writer goroutine and waits for it. Queued operations
+// that were not yet picked up are failed with a shutdown error. The
+// HTTP listener (owned by the caller) should be shut down first.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.wg.Wait()
+		// Fail whatever is still queued so no request waits forever.
+		for {
+			select {
+			case o := <-s.ops:
+				o.reply <- opResult{err: errShutdown}
+			default:
+				return
+			}
+		}
+	})
+}
+
+// View returns the currently published assignment (never nil after a
+// successful New).
+func (s *Server) View() *mcfs.PublishedAssignment { return s.view.Load().pub }
+
+// Objective returns the published objective.
+func (s *Server) Objective() int64 { return s.View().Objective }
+
+// publish materializes the Reallocator's state and swaps it in. Runs on
+// the writer goroutine (and once during New, before the loop starts).
+func (s *Server) publish() error {
+	s.r.SetContext(context.Background())
+	pub, err := s.r.Publish()
+	if err != nil {
+		return err
+	}
+	s.view.Store(&view{pub: pub, base: s.r.BaseObjective(), stats: s.r.Stats()})
+	return nil
+}
+
+// --- writer goroutine -------------------------------------------------------
+
+type opKind int
+
+const (
+	opArrivals opKind = iota
+	opDepartures
+	opResolve
+	opSnapshot
+)
+
+type op struct {
+	kind    opKind
+	ctx     context.Context
+	nodes   []int32
+	handles []int
+	algo    mcfs.Algorithm
+	reply   chan opResult
+}
+
+type opResult struct {
+	handles   []int
+	snapshot  *mcfs.ReallocatorSnapshot
+	note      string
+	objective int64
+	err       error
+}
+
+// loop is the single writer: it blocks for one operation, drains the
+// queue up to MaxBatch (coalescing concurrent churn into one repair
+// window), processes the batch against the Reallocator, publishes once,
+// and then releases every waiter.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		var first op
+		select {
+		case <-s.quit:
+			return
+		case first = <-s.ops:
+		}
+		batch := []op{first}
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case o := <-s.ops:
+				batch = append(batch, o)
+			default:
+				goto full
+			}
+		}
+	full:
+		s.process(batch)
+	}
+}
+
+// process applies one batch, publishes, and replies.
+func (s *Server) process(batch []op) {
+	results := make([]opResult, len(batch))
+	for i, o := range batch {
+		s.r.SetContext(o.ctx)
+		results[i] = s.apply(o)
+	}
+	pubErr := s.publish()
+	s.batches.Add(1)
+	s.batchedOps.Add(int64(len(batch)))
+	obj := s.Objective()
+	for i, o := range batch {
+		res := results[i]
+		if res.err == nil && pubErr != nil {
+			res.err = pubErr
+		}
+		res.objective = obj
+		o.reply <- res // buffered, never blocks
+	}
+}
+
+// apply runs one operation against the Reallocator under its request
+// context (already bound by process).
+func (s *Server) apply(o op) opResult {
+	switch o.kind {
+	case opArrivals:
+		handles := make([]int, 0, len(o.nodes))
+		for _, node := range o.nodes {
+			h, err := s.r.AddCustomer(node)
+			if err != nil {
+				// Admit all or nothing: roll back the part of this request
+				// that already landed.
+				for _, added := range handles {
+					_ = s.r.RemoveCustomer(added)
+				}
+				return opResult{err: err}
+			}
+			handles = append(handles, h)
+		}
+		return opResult{handles: handles}
+	case opDepartures:
+		removed := make([]int, 0, len(o.handles))
+		for _, h := range o.handles {
+			if err := s.r.RemoveCustomer(h); err != nil {
+				return opResult{err: fmt.Errorf("after removing %d of %d: %w", len(removed), len(o.handles), err)}
+			}
+			removed = append(removed, h)
+		}
+		return opResult{handles: removed}
+	case opResolve:
+		sol, note, err := o.algo.Solve(o.ctx, s.cfg.Instance)
+		if err != nil {
+			return opResult{err: err}
+		}
+		if err := s.r.AdoptSelection(sol.Selected); err != nil {
+			return opResult{err: err}
+		}
+		return opResult{note: note}
+	case opSnapshot:
+		snap, err := s.r.Snapshot()
+		return opResult{snapshot: snap, err: err}
+	}
+	return opResult{err: fmt.Errorf("serve: unknown operation kind %d", o.kind)}
+}
+
+// do enqueues an operation and waits for its result or the context.
+func (s *Server) do(ctx context.Context, o op) (opResult, error) {
+	o.ctx = ctx
+	o.reply = make(chan opResult, 1)
+	select {
+	case s.ops <- o:
+	case <-s.quit:
+		return opResult{}, errShutdown
+	case <-ctx.Done():
+		return opResult{}, ctx.Err()
+	}
+	select {
+	case res := <-o.reply:
+		return res, res.err
+	case <-ctx.Done():
+		return opResult{}, ctx.Err()
+	}
+}
+
+// --- HTTP layer -------------------------------------------------------------
+
+// errorBody is the machine-readable error payload: code is a stable
+// slug for programmatic handling, error the human-readable detail.
+type errorBody struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// statusOf maps the package's sentinel taxonomy onto HTTP.
+func statusOf(err error) (int, string) {
+	switch {
+	case errors.Is(err, mcfs.ErrInfeasible):
+		return http.StatusUnprocessableEntity, "infeasible"
+	case errors.Is(err, mcfs.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge, "too_large"
+	case errors.Is(err, mcfs.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "canceled"
+	case errors.Is(err, errShutdown):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, dynamic.ErrUnknownHandle):
+		return http.StatusNotFound, "unknown_handle"
+	case errors.Is(err, dynamic.ErrBadNode):
+		return http.StatusBadRequest, "bad_node"
+	default:
+		return http.StatusBadRequest, "bad_request"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := statusOf(err)
+	writeJSON(w, status, errorBody{Code: code, Error: err.Error()})
+}
+
+// opCtx derives the operation context: the request's own context,
+// bounded by DefaultTimeout unless the request already carries an
+// earlier deadline.
+func (s *Server) opCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	if dl, ok := ctx.Deadline(); ok {
+		if time.Until(dl) <= s.cfg.DefaultTimeout {
+			return context.WithCancel(ctx)
+		}
+	}
+	return context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+}
+
+// instrument wraps a handler with latency recording under name.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		//lint:ignore determinism endpoint latency is operational telemetry, never solver input
+		start := time.Now()
+		h(w, r)
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		s.lat[name].Observe(elapsed)
+		s.mu.Unlock()
+	}
+}
+
+// Handler returns the endpoint mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /assign", s.instrument("assign", s.handleAssign))
+	mux.HandleFunc("POST /arrivals", s.instrument("arrivals", s.handleArrivals))
+	mux.HandleFunc("POST /departures", s.instrument("departures", s.handleDepartures))
+	mux.HandleFunc("POST /resolve", s.instrument("resolve", s.handleResolve))
+	mux.HandleFunc("GET /snapshot", s.instrument("snapshot", s.handleSnapshot))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// AssignReply answers GET /assign.
+type AssignReply struct {
+	Customer     int   `json:"customer"`
+	Node         int32 `json:"node"`
+	Facility     int   `json:"facility"`
+	FacilityNode int32 `json:"facility_node"`
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("customer")
+	h, err := strconv.Atoi(q)
+	if err != nil {
+		writeError(w, fmt.Errorf("bad customer handle %q: %w", q, err))
+		return
+	}
+	node, fac, ok := s.View().Lookup(h)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %d", dynamic.ErrUnknownHandle, h))
+		return
+	}
+	writeJSON(w, http.StatusOK, AssignReply{
+		Customer:     h,
+		Node:         node,
+		Facility:     fac,
+		FacilityNode: s.cfg.Instance.Facilities[fac].Node,
+	})
+}
+
+// ArrivalsRequest is the POST /arrivals body.
+type ArrivalsRequest struct {
+	Nodes []int32 `json:"nodes"`
+}
+
+// ChurnReply answers POST /arrivals and POST /departures.
+type ChurnReply struct {
+	Handles   []int `json:"handles"`
+	Objective int64 `json:"objective"`
+}
+
+func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request) {
+	var req ArrivalsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad arrivals body: %w", err))
+		return
+	}
+	if len(req.Nodes) == 0 {
+		writeError(w, errors.New("arrivals body needs a non-empty nodes list"))
+		return
+	}
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	res, err := s.do(ctx, op{kind: opArrivals, nodes: req.Nodes})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ChurnReply{Handles: res.handles, Objective: res.objective})
+}
+
+// DeparturesRequest is the POST /departures body.
+type DeparturesRequest struct {
+	Handles []int `json:"handles"`
+}
+
+func (s *Server) handleDepartures(w http.ResponseWriter, r *http.Request) {
+	var req DeparturesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad departures body: %w", err))
+		return
+	}
+	if len(req.Handles) == 0 {
+		writeError(w, errors.New("departures body needs a non-empty handles list"))
+		return
+	}
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	res, err := s.do(ctx, op{kind: opDepartures, handles: req.Handles})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ChurnReply{Handles: res.handles, Objective: res.objective})
+}
+
+// ResolveRequest is the POST /resolve body; an empty algorithm picks
+// the server's configured default.
+type ResolveRequest struct {
+	Algorithm string `json:"algorithm"`
+}
+
+// ResolveReply answers POST /resolve.
+type ResolveReply struct {
+	Algorithm string `json:"algorithm"`
+	Note      string `json:"note,omitempty"`
+	Objective int64  `json:"objective"`
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req ResolveRequest
+	// An empty body means "defaults".
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, fmt.Errorf("bad resolve body: %w", err))
+		return
+	}
+	algo := s.cfg.Algorithm
+	if req.Algorithm != "" {
+		var err error
+		algo, err = mcfs.ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	res, err := s.do(ctx, op{kind: opResolve, algo: algo})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResolveReply{Algorithm: algo.String(), Note: res.note, Objective: res.objective})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	res, err := s.do(ctx, op{kind: opSnapshot})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = res.snapshot.Write(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// EndpointStats reports one endpoint's latency distribution.
+type EndpointStats struct {
+	Count  int64 `json:"count"`
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	MaxNS  int64 `json:"max_ns"`
+}
+
+// StatsReply answers GET /stats.
+type StatsReply struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Customers     int                      `json:"customers"`
+	Objective     int64                    `json:"objective"`
+	BaseObjective int64                    `json:"base_objective"`
+	Drift         float64                  `json:"drift"`
+	Reallocator   mcfs.ReallocatorStats    `json:"reallocator"`
+	Batches       int64                    `json:"batches"`
+	BatchedOps    int64                    `json:"batched_ops"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	v := s.view.Load()
+	drift := 0.0
+	if v.base > 0 {
+		drift = float64(v.pub.Objective) / float64(v.base)
+	}
+	reply := StatsReply{
+		Customers:     v.pub.Customers(),
+		Objective:     v.pub.Objective,
+		BaseObjective: v.base,
+		Drift:         drift,
+		Reallocator:   v.stats,
+		Batches:       s.batches.Load(),
+		BatchedOps:    s.batchedOps.Load(),
+		Endpoints:     make(map[string]EndpointStats, len(endpointNames)),
+	}
+	reply.UptimeSeconds = time.Since(s.start).Seconds()
+	s.mu.Lock()
+	for _, name := range endpointNames {
+		h := s.lat[name]
+		reply.Endpoints[name] = EndpointStats{
+			Count:  h.Count(),
+			MeanNS: int64(h.Mean()),
+			P50NS:  int64(h.Quantile(0.5)),
+			P99NS:  int64(h.Quantile(0.99)),
+			MaxNS:  int64(h.Max()),
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, reply)
+}

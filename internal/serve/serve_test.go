@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mcfs"
+)
+
+// testInstance builds a moderate synthetic instance with enough
+// capacity slack that churn stays feasible.
+func testInstance(t *testing.T) *mcfs.Instance {
+	t.Helper()
+	g, err := mcfs.GenerateSynthetic(mcfs.SyntheticConfig{N: 300, Alpha: 2.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	pool := mcfs.LargestComponent(g)
+	return &mcfs.Instance{
+		G:          g,
+		Customers:  mcfs.SampleCustomersFrom(pool, 30, rng),
+		Facilities: mcfs.SampleFacilitiesFrom(pool, 60, rng, mcfs.UniformCapacity(10)),
+		K:          8,
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Instance == nil {
+		cfg.Instance = testInstance(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// call performs one JSON request and decodes the response into out
+// (skipped when out is nil); it returns the HTTP status.
+func call(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad response %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestServeLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	// Health and initial reads.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var asg AssignReply
+	if code := call(t, "GET", ts.URL+"/assign?customer=0", nil, &asg); code != 200 {
+		t.Fatalf("assign = %d", code)
+	}
+	if asg.Customer != 0 || asg.FacilityNode < 0 {
+		t.Fatalf("assign reply %+v", asg)
+	}
+
+	// Arrivals: new handles appear in the published view.
+	inst := s.cfg.Instance
+	var churn ChurnReply
+	if code := call(t, "POST", ts.URL+"/arrivals",
+		ArrivalsRequest{Nodes: []int32{inst.Customers[0], inst.Customers[1]}}, &churn); code != 200 {
+		t.Fatalf("arrivals = %d", code)
+	}
+	if len(churn.Handles) != 2 {
+		t.Fatalf("arrivals handles %v", churn.Handles)
+	}
+	for _, h := range churn.Handles {
+		if code := call(t, "GET", fmt.Sprintf("%s/assign?customer=%d", ts.URL, h), nil, &asg); code != 200 {
+			t.Fatalf("assign new handle %d = %d", h, code)
+		}
+	}
+
+	// Departures remove them again.
+	if code := call(t, "POST", ts.URL+"/departures",
+		DeparturesRequest{Handles: churn.Handles}, &churn); code != 200 {
+		t.Fatalf("departures = %d", code)
+	}
+	if code := call(t, "GET", fmt.Sprintf("%s/assign?customer=%d", ts.URL, churn.Handles[0]), nil, nil); code != 404 {
+		t.Fatalf("departed handle still assigned: %d", code)
+	}
+
+	// Resolve through a registry algorithm.
+	var rr ResolveReply
+	if code := call(t, "POST", ts.URL+"/resolve", ResolveRequest{Algorithm: "uf"}, &rr); code != 200 {
+		t.Fatalf("resolve = %d", code)
+	}
+	if rr.Algorithm != "uf" || rr.Objective <= 0 {
+		t.Fatalf("resolve reply %+v", rr)
+	}
+
+	// Stats reflect the traffic.
+	var st StatsReply
+	if code := call(t, "GET", ts.URL+"/stats", nil, &st); code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	if st.Customers != s.View().Customers() || st.Objective != s.Objective() {
+		t.Fatalf("stats %+v out of sync with view", st)
+	}
+	if st.Endpoints["arrivals"].Count == 0 || st.Endpoints["assign"].P99NS < 0 {
+		t.Fatalf("endpoint latency missing: %+v", st.Endpoints)
+	}
+	if st.Batches == 0 || st.BatchedOps < st.Batches {
+		t.Fatalf("batch counters %d/%d", st.Batches, st.BatchedOps)
+	}
+}
+
+func TestServeErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+		code   string
+	}{
+		{"unknown handle", "GET", "/assign?customer=99999", nil, 404, "unknown_handle"},
+		{"bad handle", "GET", "/assign?customer=x", nil, 400, "bad_request"},
+		{"bad node", "POST", "/arrivals", ArrivalsRequest{Nodes: []int32{-4}}, 400, "bad_node"},
+		{"empty arrivals", "POST", "/arrivals", ArrivalsRequest{}, 400, "bad_request"},
+		{"unknown departure", "POST", "/departures", DeparturesRequest{Handles: []int{99999}}, 404, "unknown_handle"},
+		{"unknown algorithm", "POST", "/resolve", ResolveRequest{Algorithm: "gurobi"}, 400, "bad_request"},
+		{"oversize exhaustive", "POST", "/resolve", ResolveRequest{Algorithm: "exhaustive"}, 413, "too_large"},
+	}
+	for _, tc := range cases {
+		var body struct {
+			Code  string `json:"code"`
+			Error string `json:"error"`
+		}
+		got := call(t, tc.method, ts.URL+tc.path, tc.body, &body)
+		if got != tc.want || body.Code != tc.code {
+			t.Errorf("%s: status %d code %q, want %d %q (%s)", tc.name, got, body.Code, tc.want, tc.code, body.Error)
+		}
+		if body.Error == "" {
+			t.Errorf("%s: empty error detail", tc.name)
+		}
+	}
+}
+
+func TestServeSnapshotRestart(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inst := s.cfg.Instance
+	var churn ChurnReply
+	if code := call(t, "POST", ts.URL+"/arrivals",
+		ArrivalsRequest{Nodes: inst.Customers[:3]}, &churn); code != 200 {
+		t.Fatalf("arrivals = %d", code)
+	}
+	if code := call(t, "POST", ts.URL+"/departures",
+		DeparturesRequest{Handles: churn.Handles[:1]}, &churn); code != 200 {
+		t.Fatalf("departures = %d", code)
+	}
+	want := s.Objective()
+
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap, err := mcfs.ReadReallocatorSnapshot(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, err := New(Config{Instance: inst, Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if got := restarted.Objective(); got != want {
+		t.Fatalf("restarted objective %d, want %d", got, want)
+	}
+	if restarted.View().Customers() != s.View().Customers() {
+		t.Fatalf("restarted customers %d, want %d", restarted.View().Customers(), s.View().Customers())
+	}
+}
+
+// TestServeConcurrentChurn hammers the server with concurrent readers
+// and writers; under -race this exercises the publish/swap read path
+// against the batching writer.
+func TestServeConcurrentChurn(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inst := s.cfg.Instance
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Writers: each admits customers then removes them again.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				node := inst.Customers[(w*8+i)%len(inst.Customers)]
+				var churn ChurnReply
+				if code := call(t, "POST", ts.URL+"/arrivals",
+					ArrivalsRequest{Nodes: []int32{node}}, &churn); code != 200 {
+					errs <- fmt.Errorf("writer %d: arrivals status %d", w, code)
+					return
+				}
+				if code := call(t, "POST", ts.URL+"/departures",
+					DeparturesRequest{Handles: churn.Handles}, &churn); code != 200 {
+					errs <- fmt.Errorf("writer %d: departures status %d", w, code)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: resolve random handles and poll stats; 404 is a valid
+	// outcome for a handle that already departed.
+	for rdr := 0; rdr < 4; rdr++ {
+		wg.Add(1)
+		go func(rdr int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				code := call(t, "GET", fmt.Sprintf("%s/assign?customer=%d", ts.URL, i%40), nil, nil)
+				if code != 200 && code != 404 {
+					errs <- fmt.Errorf("reader %d: assign status %d", rdr, code)
+					return
+				}
+				if i%10 == 0 {
+					if code := call(t, "GET", ts.URL+"/stats", nil, nil); code != 200 {
+						errs <- fmt.Errorf("reader %d: stats status %d", rdr, code)
+						return
+					}
+				}
+			}
+		}(rdr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// All churn is symmetric: the population is back to the baseline.
+	if got := s.View().Customers(); got != len(inst.Customers) {
+		t.Fatalf("population %d after symmetric churn, want %d", got, len(inst.Customers))
+	}
+}
+
+func TestServeConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil instance accepted")
+	}
+	if _, err := New(Config{Instance: testInstance(t), Algorithm: "bogus"}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("bogus algorithm: %v", err)
+	}
+}

@@ -39,11 +39,12 @@ package mcfs
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"time"
 
-	"mcfs/internal/baseline"
 	"mcfs/internal/core"
 	"mcfs/internal/data"
 	"mcfs/internal/dynamic"
@@ -79,10 +80,30 @@ type (
 // Inf is the distance reported for unreachable node pairs.
 const Inf = graph.Inf
 
+// Sentinel errors. Every entry point returns at most these well-known
+// failures besides input-validation errors, so callers (and servers
+// mapping errors onto protocol status codes) can switch on errors.Is:
+//
+//   - ErrInfeasible — the instance admits no feasible solution; returned
+//     by every solver and by Reallocator operations that would overflow
+//     the open capacity.
+//   - ErrTimeout — SolveExact's time budget expired; also matches
+//     context.DeadlineExceeded. Heuristic solvers surface a budget
+//     expiry as plain context.DeadlineExceeded instead.
+//   - ErrTooLarge — SolveExhaustive's subset cap was exceeded; the
+//     instance is too large for enumeration, pick another algorithm.
+//   - context.Canceled / context.DeadlineExceeded — the caller's context
+//     fired mid-solve (Ctx variants only).
+
 // ErrInfeasible is returned by every solver when no feasible solution
 // exists (insufficient capacity under budget k in some network
 // component).
 var ErrInfeasible = data.ErrInfeasible
+
+// ErrTooLarge is returned by SolveExhaustive (and AlgorithmExhaustive)
+// when the number of k-subsets exceeds the enumeration cap — the
+// instance is too large for exhaustive search.
+var ErrTooLarge = solver.ErrTooLarge
 
 // NewGraphBuilder returns a builder for a graph with n nodes; if
 // directed is false every edge is traversable both ways.
@@ -102,6 +123,9 @@ type options struct {
 	timeBudget time.Duration
 	nodeLimit  int
 	seed       int64
+	// err accumulates option-validation failures; buildOptions surfaces
+	// it so a bad knob fails the solve instead of being silently ignored.
+	err error
 }
 
 // WithProgress installs a per-iteration callback on runs of the WMA main
@@ -148,15 +172,35 @@ func WithExhaustiveMatching() Option {
 // caller's context: on expiry the solve stops promptly and returns
 // context.DeadlineExceeded, with the incumbent semantics of the solver
 // at hand (see "Timeouts & cancellation" in the README).
+//
+// The budget must be positive: a zero or negative budget is rejected at
+// solve time with a descriptive error rather than silently meaning
+// "unbounded" — callers that want no bound simply omit the option.
 func WithTimeBudget(d time.Duration) Option {
-	return func(o *options) { o.timeBudget = d }
+	return func(o *options) {
+		if d <= 0 {
+			o.err = errors.Join(o.err, fmt.Errorf("mcfs: WithTimeBudget(%v): budget must be positive (omit the option for an unbounded solve)", d))
+			return
+		}
+		o.timeBudget = d
+	}
 }
 
 // WithNodeLimit bounds the exact solver's search-tree size. Applies to
 // SolveExact only; other solvers have no notion of search nodes and
 // ignore it.
+//
+// The limit must be positive: a zero or negative limit is rejected at
+// solve time with a descriptive error rather than silently meaning
+// "unbounded" — callers that want no bound simply omit the option.
 func WithNodeLimit(n int) Option {
-	return func(o *options) { o.nodeLimit = n }
+	return func(o *options) {
+		if n <= 0 {
+			o.err = errors.Join(o.err, fmt.Errorf("mcfs: WithNodeLimit(%d): limit must be positive (omit the option for an unbounded search)", n))
+			return
+		}
+		o.nodeLimit = n
+	}
 }
 
 // WithSeed seeds the randomized Naive baseline. Applies to SolveNaive
@@ -166,12 +210,12 @@ func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
 }
 
-func buildOptions(opts []Option) options {
+func buildOptions(opts []Option) (options, error) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return o
+	return o, o.err
 }
 
 // deadlineCtx layers the WithTimeBudget deadline (when set) onto the
@@ -200,10 +244,8 @@ func Solve(inst *Instance, opts ...Option) (*Solution, error) {
 // completes, so a cancelled run returns a nil Solution. An uncancelled
 // run is byte-identical to Solve. WithTimeBudget adds a deadline to ctx.
 func SolveCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
-	o := buildOptions(opts)
-	ctx, cancel := o.deadlineCtx(ctx)
-	defer cancel()
-	return core.SolveCtx(ctx, inst, o.core)
+	sol, _, err := AlgorithmWMA.Solve(ctx, inst, opts...)
+	return sol, err
 }
 
 // SolveUniformFirst runs WMA with the Uniform-First strategy (§VII-F):
@@ -217,10 +259,8 @@ func SolveUniformFirst(inst *Instance, opts ...Option) (*Solution, error) {
 // cancellation; cancellation semantics match SolveCtx (nil Solution and
 // ctx.Err(); cancellation never triggers the Direct-strategy fallback).
 func SolveUniformFirstCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
-	o := buildOptions(opts)
-	ctx, cancel := o.deadlineCtx(ctx)
-	defer cancel()
-	return core.SolveUniformFirstCtx(ctx, inst, o.core)
+	sol, _, err := AlgorithmUniformFirst.Solve(ctx, inst, opts...)
+	return sol, err
 }
 
 // SolveHilbert runs the Hilbert space-filling-curve bucketing baseline.
@@ -232,10 +272,8 @@ func SolveHilbert(inst *Instance, opts ...Option) (*Solution, error) {
 // SolveHilbertCtx is SolveHilbert with cooperative cancellation;
 // cancellation semantics match SolveCtx (nil Solution and ctx.Err()).
 func SolveHilbertCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
-	o := buildOptions(opts)
-	ctx, cancel := o.deadlineCtx(ctx)
-	defer cancel()
-	return baseline.HilbertCtx(ctx, inst, o.core)
+	sol, _, err := AlgorithmHilbert.Solve(ctx, inst, opts...)
+	return sol, err
 }
 
 // SolveBRNN runs the iterative bichromatic-reverse-nearest-neighbor
@@ -247,10 +285,8 @@ func SolveBRNN(inst *Instance, opts ...Option) (*Solution, error) {
 // SolveBRNNCtx is SolveBRNN with cooperative cancellation; cancellation
 // semantics match SolveCtx (nil Solution and ctx.Err()).
 func SolveBRNNCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
-	o := buildOptions(opts)
-	ctx, cancel := o.deadlineCtx(ctx)
-	defer cancel()
-	return baseline.BRNNCtx(ctx, inst, o.core)
+	sol, _, err := AlgorithmBRNN.Solve(ctx, inst, opts...)
+	return sol, err
 }
 
 // SolveNaive runs WMA Naïve: the WMA loop with greedy, no-rewiring
@@ -262,10 +298,8 @@ func SolveNaive(inst *Instance, opts ...Option) (*Solution, error) {
 // SolveNaiveCtx is SolveNaive with cooperative cancellation;
 // cancellation semantics match SolveCtx (nil Solution and ctx.Err()).
 func SolveNaiveCtx(ctx context.Context, inst *Instance, opts ...Option) (*Solution, error) {
-	o := buildOptions(opts)
-	ctx, cancel := o.deadlineCtx(ctx)
-	defer cancel()
-	return baseline.NaiveCtx(ctx, inst, o.seed, o.core)
+	sol, _, err := AlgorithmNaive.Solve(ctx, inst, opts...)
+	return sol, err
 }
 
 // ExactResult reports an exact solve: the solution, the number of
@@ -299,7 +333,10 @@ func SolveExact(inst *Instance, opts ...Option) (*ExactResult, error) {
 // matches ErrTimeout. The ExactResult is nil only when cancellation
 // struck before any incumbent existed.
 func SolveExactCtx(ctx context.Context, inst *Instance, opts ...Option) (*ExactResult, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	res, err := solver.BranchAndBoundCtx(ctx, inst, solver.Options{
 		TimeBudget: o.timeBudget,
 		NodeLimit:  o.nodeLimit,
@@ -335,7 +372,10 @@ func AssignToSelection(inst *Instance, selected []int, opts ...Option) (*Solutio
 // cancellation, checked per augmenting path; a cancelled run returns a
 // nil Solution and ctx.Err(). WithTimeBudget adds a deadline to ctx.
 func AssignToSelectionCtx(ctx context.Context, inst *Instance, selected []int, opts ...Option) (*Solution, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := o.deadlineCtx(ctx)
 	defer cancel()
 	return core.AssignToSelectionCtx(ctx, inst, selected, o.core)
@@ -487,8 +527,49 @@ func NewReallocator(inst *Instance, driftFactor float64, opts ...Option) (*Reall
 // returns ctx.Err() and marks the matching stale; the next operation
 // under a live context rebuilds it, so the Reallocator stays usable.
 func NewReallocatorCtx(ctx context.Context, inst *Instance, driftFactor float64, opts ...Option) (*Reallocator, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	return dynamic.NewCtx(ctx, inst, dynamic.Options{Core: o.core, DriftFactor: driftFactor})
+}
+
+// ReallocatorSnapshot is a restartable JSON capture of a Reallocator's
+// dynamic state (live customers with their handles, the open selection,
+// the drift baseline and work counters). Produce one with the
+// Reallocator's Snapshot method, persist it with its Write method, parse
+// it back with ReadReallocatorSnapshot, and reconstruct the Reallocator
+// with RestoreReallocator. Snapshots embed an instance fingerprint and
+// restore only onto an identical instance, reproducing the snapshotted
+// objective exactly.
+type ReallocatorSnapshot = dynamic.Snapshot
+
+// PublishedAssignment is an immutable point-in-time view of the
+// assignment a Reallocator is serving, built by its Publish method for
+// lock-free concurrent reads (e.g. behind an atomic pointer swapped by a
+// single writer).
+type PublishedAssignment = dynamic.Published
+
+// ReadReallocatorSnapshot parses and structurally validates a snapshot
+// previously persisted with ReallocatorSnapshot.Write.
+func ReadReallocatorSnapshot(r io.Reader) (*ReallocatorSnapshot, error) {
+	return dynamic.ReadSnapshot(r)
+}
+
+// RestoreReallocator reconstructs a Reallocator from a snapshot taken
+// against an identical instance; see NewReallocator for driftFactor.
+func RestoreReallocator(inst *Instance, s *ReallocatorSnapshot, driftFactor float64, opts ...Option) (*Reallocator, error) {
+	return RestoreReallocatorCtx(context.Background(), inst, s, driftFactor, opts...)
+}
+
+// RestoreReallocatorCtx is RestoreReallocator with cooperative
+// cancellation; the context is retained as in NewReallocatorCtx.
+func RestoreReallocatorCtx(ctx context.Context, inst *Instance, s *ReallocatorSnapshot, driftFactor float64, opts ...Option) (*Reallocator, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return dynamic.RestoreCtx(ctx, inst, s, dynamic.Options{Core: o.core, DriftFactor: driftFactor})
 }
 
 // --- rendering --------------------------------------------------------------
@@ -527,7 +608,10 @@ func Improve(inst *Instance, sol *Solution, maxMoves int, opts ...Option) (*Solu
 // achieved up to the cut is kept. WithTimeBudget adds a deadline to
 // ctx, turning the search into an anytime polish pass.
 func ImproveCtx(ctx context.Context, inst *Instance, sol *Solution, maxMoves int, opts ...Option) (*Solution, ImproveStats, error) {
-	o := buildOptions(opts)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, ImproveStats{}, err
+	}
 	ctx, cancel := o.deadlineCtx(ctx)
 	defer cancel()
 	return localsearch.ImproveCtx(ctx, inst, sol, localsearch.Options{MaxMoves: maxMoves, Core: o.core})

@@ -29,6 +29,15 @@ covprofile=$(mktemp)
 go test -race -coverprofile="$covprofile" ./internal/...
 go test -race . ./cmd/... ./examples/...
 
+# mcfsd serving smoke (DESIGN.md §12): boots the daemon on a
+# quickstart-scale instance, queries an assignment, captures a snapshot,
+# restarts from it, verifies the published objective is identical, and
+# checks the SIGTERM drain exits cleanly. The test also runs as part of
+# the ./cmd/ suite above; the named step keeps the serving path visible
+# in CI output when it breaks.
+echo "mcfsd smoke: serve -> snapshot -> restart -> identical objective"
+go test -race -run '^TestMCFSDServeSnapshotRestart$' -count=1 ./cmd/ >/dev/null
+
 total=$(go tool cover -func="$covprofile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 baseline=$(cat scripts/coverage_baseline.txt)
 rm -f "$covprofile"
