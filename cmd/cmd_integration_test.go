@@ -312,7 +312,7 @@ var lintSeeds = []struct {
 	files map[string]string
 }{
 	{"ctx-checkpoint", "internal/solver/seed.go", map[string]string{
-		"internal/solver/seed.go": "package solver\n\nimport \"context\"\n\nfunc spin(ctx context.Context, n int) {\n\tfor n > 0 {\n\t\tn--\n\t}\n}\n"}},
+		"internal/solver/seed.go": "package solver\n\nimport \"context\"\n\nfunc spin(ctx context.Context, n int) {\n\tfor n > 0 {\n\t\tn = n / 2\n\t}\n}\n"}},
 	{"api-parity", "seed.go", map[string]string{
 		"seed.go": "package mcfs\n\nimport \"context\"\n\nfunc SolveSeed(x int) int { return x * 2 }\n\nfunc SolveSeedCtx(ctx context.Context, x int) int { return x * 2 }\n"}},
 	{"determinism", "internal/core/seed.go", map[string]string{
@@ -323,6 +323,18 @@ var lintSeeds = []struct {
 		"internal/graph/seed.go": "package graph\n\nfunc spawn(work func()) {\n\tgo work()\n}\n"}},
 	{"ctx-propagation", "internal/core/seed.go", map[string]string{
 		"internal/core/seed.go": "package core\n\nimport \"context\"\n\nfunc fanout(ctx context.Context, fn func(context.Context) error) error {\n\treturn fn(context.Background())\n}\n"}},
+	{"published-immutability", "internal/serve/seed.go", map[string]string{
+		"go.mod":                      "module scratch\n\ngo 1.22\n",
+		"internal/dynamic/publish.go": "package dynamic\n\ntype Published struct {\n\tObjective int64\n\tSelected  []int\n}\n",
+		"internal/serve/seed.go":      "package serve\n\nimport \"scratch/internal/dynamic\"\n\nfunc patch(p *dynamic.Published) {\n\tp.Objective = 1\n}\n"}},
+	{"single-writer", "internal/serve/seed.go", map[string]string{
+		"go.mod":                      "module scratch\n\ngo 1.22\n",
+		"internal/dynamic/dynamic.go": "package dynamic\n\ntype Reallocator struct{ ctx int }\n\nfunc (r *Reallocator) SetContext(c int) { r.ctx = c }\n",
+		"internal/serve/seed.go":      "package serve\n\nimport \"scratch/internal/dynamic\"\n\ntype Server struct{ r *dynamic.Reallocator }\n\nfunc New() *Server {\n\ts := &Server{r: &dynamic.Reallocator{}}\n\tgo s.loop()\n\treturn s\n}\n\nfunc (s *Server) loop() {}\n\nfunc (s *Server) handleFast(n int) {\n\ts.r.SetContext(n)\n}\n"}},
+	{"sentinel-http-parity", "seed.go", map[string]string{
+		"go.mod":                 "module scratch\n\ngo 1.22\n",
+		"seed.go":                "package scratch\n\nimport \"errors\"\n\nvar ErrLost = errors.New(\"lost\")\n",
+		"internal/serve/seed.go": "package serve\n\nfunc statusOf(err error) (int, string) { return 400, \"bad_request\" }\n\nfunc Status(err error) (int, string) { return statusOf(err) }\n"}},
 	{"shared-instance-mutation", "internal/bench/seed.go", map[string]string{
 		"go.mod":                 "module scratch\n\ngo 1.22\n",
 		"internal/data/data.go":  "package data\n\ntype Instance struct {\n\tCustomers []int64\n\tK         int\n}\n",
@@ -411,5 +423,86 @@ func TestLintRealModule(t *testing.T) {
 	out := run(t, "mcfslint", "-C", "..", "./...")
 	if !strings.Contains(out, "0 finding(s)") {
 		t.Fatalf("module tree is not lint-clean:\n%s", out)
+	}
+}
+
+// TestLintEmptyMatch: a pattern that resolves to no Go packages must be
+// an explicit usage error (exit 2), not a 0-finding clean bill of
+// health on code that was never looked at.
+func TestLintEmptyMatch(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{"./empty", "./..."} {
+		cmd := exec.Command(filepath.Join(binDir, "mcfslint"), "-C", root, pattern)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("pattern %s: expected an exit error, got %v:\n%s", pattern, err, out)
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Fatalf("pattern %s: exit %d, want 2:\n%s", pattern, code, out)
+		}
+		if !strings.Contains(string(out), "no Go packages match") {
+			t.Fatalf("pattern %s: missing the empty-match diagnostic:\n%s", pattern, out)
+		}
+	}
+}
+
+// TestLintCacheRoundTrip: the second run over an unchanged tree replays
+// findings and exit status from the result cache; -nocache bypasses it;
+// an edit invalidates the entry.
+func TestLintCacheRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	seedPath := filepath.Join(root, "internal", "solver", "seed.go")
+	src := "package solver\n\nimport \"context\"\n\nfunc spin(ctx context.Context, n int) {\n\tfor n > 0 {\n\t\tn = n * 0\n\t}\n}\n"
+	if err := os.MkdirAll(filepath.Dir(seedPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seedPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Isolate the cache from the developer's real one.
+	env := append(os.Environ(), "XDG_CACHE_HOME="+t.TempDir())
+	lintRun := func(args ...string) (string, int) {
+		cmd := exec.Command(filepath.Join(binDir, "mcfslint"), append([]string{"-C", root}, args...)...)
+		cmd.Env = env
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("mcfslint did not run: %v\n%s", err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+	diag := regexp.MustCompile(`(?m)^internal/solver/seed\.go:\d+: ctx-checkpoint: .+$`)
+
+	cold, code := lintRun("./...")
+	if code != 1 || !diag.MatchString(cold) || !strings.Contains(cold, "cache miss") {
+		t.Fatalf("cold run: exit %d, want 1 with a ctx-checkpoint finding and a cache miss:\n%s", code, cold)
+	}
+	warm, code := lintRun("./...")
+	if code != 1 || !diag.MatchString(warm) || !strings.Contains(warm, "cache hit") {
+		t.Fatalf("warm run: exit %d, want 1 with the replayed finding and a cache hit:\n%s", code, warm)
+	}
+	off, code := lintRun("-nocache", "./...")
+	if code != 1 || !diag.MatchString(off) || !strings.Contains(off, "cache off") {
+		t.Fatalf("-nocache run: exit %d, want 1 with a fresh finding and cache off:\n%s", code, off)
+	}
+	// Fixing the violation changes the tree hash: miss, then clean hit.
+	fixed := strings.Replace(src, "for n > 0 {", "for n > 0 {\n\t\tif ctx.Err() != nil {\n\t\t\treturn\n\t\t}", 1)
+	if err := os.WriteFile(seedPath, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clean, code := lintRun("./...")
+	if code != 0 || !strings.Contains(clean, "cache miss") || !strings.Contains(clean, "0 finding(s)") {
+		t.Fatalf("post-edit run: exit %d, want 0 findings after a cache miss:\n%s", code, clean)
+	}
+	cleanWarm, code := lintRun("./...")
+	if code != 0 || !strings.Contains(cleanWarm, "cache hit") {
+		t.Fatalf("post-edit warm run: exit %d, want a clean cache hit:\n%s", code, cleanWarm)
 	}
 }

@@ -19,16 +19,24 @@
 //
 // Findings print one per line as "file:line: rule: message" on stdout;
 // a summary with the analyzer's own runtime goes to stderr, followed
-// by a per-rule timing line with -timing (CI records the summary so a
-// slow rule is noticed). Exit status is 1 when there are findings, 2 on
-// usage or parse errors, 0 on a clean tree.
+// by per-rule timing lines and a machine-readable "total_ms N" line
+// with -timing (CI records the summary so a slow rule is noticed).
+// Exit status is 1 when there are findings, 2 on usage or parse errors
+// (including a pattern that matches no Go packages), 0 on a clean tree.
+//
+// Results are cached under os.UserCacheDir()/mcfslint, keyed on the
+// binary, the toolchain, the run configuration, and the module's full
+// source tree: an unchanged tree replays its findings without
+// re-type-checking. -nocache forces a fresh analysis.
 package main
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -43,6 +51,7 @@ func main() {
 		list      = flag.Bool("list", false, "list the rules and exit")
 		typed     = flag.Bool("typed", true, "type-check the tree so rules can use go/types info")
 		timing    = flag.Bool("timing", false, "print per-rule wall-clock timings to stderr")
+		nocache   = flag.Bool("nocache", false, "skip the result cache and re-analyze from scratch")
 	)
 	flag.Parse()
 
@@ -71,6 +80,54 @@ func main() {
 	}
 
 	start := time.Now()
+	mode := "typed"
+	if !*typed {
+		mode = "syntactic"
+	}
+
+	// The result cache replays an unchanged tree without loading or
+	// analyzing anything. The key covers every input that can change
+	// the outcome: the linter binary, the toolchain, the run
+	// configuration, and (inside lint.CacheKey) go.mod plus the whole
+	// module's sources. Any failure to set the cache up just disables
+	// it — caching is an optimization, never a reason to fail a run.
+	var cacheDir, cacheKey string
+	cacheStatus := "cache off"
+	if !*nocache {
+		if dir, err := lint.CacheDir(); err == nil {
+			if exe, err := exeHash(); err == nil {
+				ruleNames := make([]string, len(rules))
+				for i, r := range rules {
+					ruleNames[i] = r.Name()
+				}
+				key, err := lint.CacheKey(*chdir,
+					"exe "+exe,
+					"go "+runtime.Version(),
+					"mode "+mode,
+					"rules "+strings.Join(ruleNames, ","),
+					"patterns "+strings.Join(flag.Args(), " "))
+				if err == nil {
+					cacheDir, cacheKey = dir, key
+					cacheStatus = "cache miss"
+				}
+			}
+		}
+	}
+	if cacheKey != "" {
+		if e, ok := lint.CacheGet(cacheDir, cacheKey); ok {
+			emit(e.TypeErrors, e.Findings, *jsonOut)
+			fmt.Fprintf(os.Stderr, "mcfslint: %d finding(s) in %d files, %d rules, %s (%s, cache hit)\n",
+				len(e.Findings), e.Files, len(rules), time.Since(start).Round(time.Millisecond), mode)
+			if *timing {
+				fmt.Fprintf(os.Stderr, "mcfslint: total_ms %d\n", time.Since(start).Milliseconds())
+			}
+			if len(e.Findings) > 0 {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+
 	load := lint.Load
 	if *typed {
 		load = lint.LoadTyped
@@ -81,46 +138,74 @@ func main() {
 		os.Exit(2)
 	}
 	loadElapsed := time.Since(start)
+	var typeErrors []string
 	for _, p := range pkgs {
-		for _, msg := range p.TypeErrors {
-			fmt.Fprintf(os.Stderr, "mcfslint: type error (rules fall back to syntax where affected): %s\n", msg)
-		}
+		typeErrors = append(typeErrors, p.TypeErrors...)
 	}
 	findings, ruleTimes := lint.RunTimed(pkgs, rules)
+	if findings == nil {
+		findings = []lint.Finding{}
+	}
 	elapsed := time.Since(start)
 
-	if *jsonOut {
-		if findings == nil {
-			findings = []lint.Finding{}
+	emit(typeErrors, findings, *jsonOut)
+
+	files := 0
+	for _, p := range pkgs {
+		files += len(p.Files)
+	}
+	if cacheKey != "" {
+		// Best effort: a failed store costs the next run a re-analysis,
+		// nothing else.
+		_ = lint.CachePut(cacheDir, cacheKey, &lint.CacheEntry{
+			Findings:   findings,
+			TypeErrors: typeErrors,
+			Files:      files,
+		})
+	}
+	fmt.Fprintf(os.Stderr, "mcfslint: %d finding(s) in %d files, %d rules, %s (%s, load %s, %s)\n",
+		len(findings), files, len(rules), elapsed.Round(time.Millisecond), mode, loadElapsed.Round(time.Millisecond), cacheStatus)
+	if *timing {
+		for _, rt := range ruleTimes {
+			fmt.Fprintf(os.Stderr, "mcfslint: rule %-26s %s\n", rt.Rule, rt.Elapsed.Round(10*time.Microsecond))
 		}
+		fmt.Fprintf(os.Stderr, "mcfslint: total_ms %d\n", time.Since(start).Milliseconds())
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// emit prints the run's stderr type-error echo and its findings, from a
+// live run and a cache replay alike.
+func emit(typeErrors []string, findings []lint.Finding, jsonOut bool) {
+	for _, msg := range typeErrors {
+		fmt.Fprintf(os.Stderr, "mcfslint: type error (rules fall back to syntax where affected): %s\n", msg)
+	}
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {
 			fmt.Fprintln(os.Stderr, "mcfslint:", err)
 			os.Exit(2)
 		}
-	} else {
-		for _, f := range findings {
-			fmt.Println(f)
-		}
+		return
 	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+}
 
-	files := 0
-	for _, p := range pkgs {
-		files += len(p.Files)
+// exeHash hashes the running linter binary so a rebuilt linter (new or
+// changed rules) never replays results computed by an old one.
+func exeHash() (string, error) {
+	path, err := os.Executable()
+	if err != nil {
+		return "", err
 	}
-	mode := "typed"
-	if !*typed {
-		mode = "syntactic"
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
 	}
-	fmt.Fprintf(os.Stderr, "mcfslint: %d finding(s) in %d files, %d rules, %s (%s, load %s)\n",
-		len(findings), files, len(rules), elapsed.Round(time.Millisecond), mode, loadElapsed.Round(time.Millisecond))
-	if *timing {
-		for _, rt := range ruleTimes {
-			fmt.Fprintf(os.Stderr, "mcfslint: rule %-26s %s\n", rt.Rule, rt.Elapsed.Round(10*time.Microsecond))
-		}
-	}
-	if len(findings) > 0 {
-		os.Exit(1)
-	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
 }

@@ -204,7 +204,6 @@ func greedyFinal(ctx context.Context, inst *data.Instance, selection []int, rng 
 		}
 		s := graph.NewNNSearcherCtx(ctx, inst.G, inst.Customers[i], mask)
 		placed := false
-		//lint:ignore ctx-checkpoint the searcher polls ctx internally; s.Err() below surfaces the cancellation
 		for {
 			node, d, ok := s.Next()
 			if !ok {

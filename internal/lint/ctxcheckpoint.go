@@ -22,6 +22,14 @@ import (
 // parameter objects, so an unrelated identifier that happens to share
 // the parameter's name no longer passes as a poll. Without type info
 // the rule falls back to the syntactic heuristics.
+//
+// Two refinements keep the rule honest on real solver code without
+// suppressions. A local built by a *Ctx-suffixed helper from an
+// in-scope context is a *carrier*: draining it polls the context
+// through the helper, so loops over it need no extra checkpoint
+// (ctxCarriers). And a pure monotone index walk — every body statement
+// ++/-- of one variable, condition testing that variable — is bounded
+// by construction and exempt (isBoundedScan).
 type CtxCheckpoint struct{}
 
 // Name implements Rule.
@@ -79,19 +87,157 @@ func checkCtxFunc(pkg *Package, f *File, ft *ast.FuncType, body *ast.BlockStmt, 
 		objs:  append(append([]types.Object(nil), outer.objs...), ctxParamObjs(pkg, ft)...),
 		names: append(append([]string(nil), outer.names...), ctxParamNames(pkg, ft)...),
 	}
+	if !scope.empty() {
+		carriers := ctxCarriers(pkg, body, scope)
+		scope.objs = append(scope.objs, carriers.objs...)
+		scope.names = append(scope.names, carriers.names...)
+	}
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
 			checkCtxFunc(pkg, f, n.Type, n.Body, scope, report)
 			return false
 		case *ast.ForStmt:
-			if !scope.empty() && n.Init == nil && n.Post == nil && !mentionsCtx(pkg, n.Body, scope) {
+			if !scope.empty() && n.Init == nil && n.Post == nil && !isBoundedScan(n) && !mentionsCtx(pkg, n.Body, scope) {
 				report(f, n.Pos(),
 					"while-style loop in a context-taking function never polls the context; add a ctx.Err() checkpoint or delegate to a Ctx helper (see DESIGN.md §9)")
 			}
 		}
 		return true
 	})
+}
+
+// ctxCarriers collects locals bound to the result of a *Ctx-suffixed
+// call that receives one of the in-scope contexts. By the module's
+// naming convention such a helper threads the context into the value it
+// returns — a searcher, an iterator — so draining that value inside a
+// loop polls the context through it (graph.NewNNSearcherCtx is the
+// canonical case). Collection is flow-insensitive and one level deep: a
+// carrier does not beget further carriers.
+func ctxCarriers(pkg *Package, body *ast.BlockStmt, scope ctxScope) ctxScope {
+	var out ctxScope
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isCtxHelperCall(pkg, call, scope) {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := pkg.ObjectOf(id); obj != nil {
+				out.objs = append(out.objs, obj)
+			} else {
+				out.names = append(out.names, id.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCtxHelperCall reports whether call invokes a *Ctx-suffixed helper
+// with one of the in-scope contexts among its arguments. The argument
+// requirement is the precision: a Ctx helper handed context.Background()
+// carries no cancellation worth crediting.
+func isCtxHelperCall(pkg *Package, call *ast.CallExpr, scope ctxScope) bool {
+	var name string
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		name = fn.Name
+	case *ast.SelectorExpr:
+		name = fn.Sel.Name
+	default:
+		return false
+	}
+	if !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if refsCtx(pkg, arg, scope) {
+			return true
+		}
+	}
+	return false
+}
+
+// refsCtx reports whether e references one of the in-scope contexts —
+// by object identity in typed mode, by name otherwise.
+func refsCtx(pkg *Package, e ast.Expr, scope ctxScope) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pkg.ObjectOf(id); obj != nil {
+			for _, want := range scope.objs {
+				if obj == want {
+					found = true
+				}
+			}
+			return !found
+		}
+		for _, name := range scope.names {
+			if id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBoundedScan reports whether the while-loop is a pure monotone index
+// walk: every body statement is ++ or -- of the same variable and the
+// call-free condition tests that variable against its bound. Such a
+// loop finishes in at most range-of-the-index steps — the lexicographic
+// subset-successor scan in internal/solver is the canonical case — and
+// needs no checkpoint. The shape is deliberately narrow: a body with
+// any statement beyond the single IncDec (or a condition that calls
+// out) falls back to the checkpoint requirement.
+func isBoundedScan(n *ast.ForStmt) bool {
+	if n.Cond == nil || len(n.Body.List) == 0 {
+		return false
+	}
+	var v string
+	for _, st := range n.Body.List {
+		inc, ok := st.(*ast.IncDecStmt)
+		if !ok {
+			return false
+		}
+		id, ok := inc.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if v == "" {
+			v = id.Name
+		} else if id.Name != v {
+			return false
+		}
+	}
+	tested, callFree := false, true
+	ast.Inspect(n.Cond, func(nn ast.Node) bool {
+		switch x := nn.(type) {
+		case *ast.CallExpr:
+			callFree = false
+			return false
+		case *ast.Ident:
+			if x.Name == v {
+				tested = true
+			}
+		}
+		return true
+	})
+	return tested && callFree
 }
 
 // ctxParamObjs resolves ft's context-typed parameters to their objects.

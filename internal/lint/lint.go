@@ -82,6 +82,16 @@ type Rule interface {
 	Check(pkg *Package, report ReportFunc)
 }
 
+// ModuleRule is a rule that needs the whole run at once — every loaded
+// package plus the cross-package summaries — rather than one package
+// at a time. Run calls CheckModule exactly once per run (instead of
+// Check per package) for rules that implement it; Check remains for
+// direct single-package callers.
+type ModuleRule interface {
+	Rule
+	CheckModule(m *Module, report ReportFunc)
+}
+
 // AllRules returns the full rule set in stable order.
 func AllRules() []Rule {
 	return []Rule{
@@ -92,6 +102,9 @@ func AllRules() []Rule {
 		NakedGoroutine{},
 		SharedMutation{},
 		CtxPropagation{},
+		PublishedImmutability{},
+		SingleWriter{},
+		SentinelParity{},
 	}
 }
 
@@ -117,28 +130,41 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 	return findings
 }
 
-// RunTimed is Run with per-rule wall-time accounting, in the same
-// order as rules.
+// RunTimed is Run with per-rule wall-time accounting: one entry per
+// rule in rules order, plus a trailing "(summaries)" entry for the
+// cross-package summary computation every module rule shares.
 func RunTimed(pkgs []*Package, rules []Rule) ([]Finding, []RuleTime) {
 	var raw []Finding
-	times := make([]RuleTime, len(rules))
+	times := make([]RuleTime, len(rules)+1)
 	for i, rule := range rules {
 		times[i].Rule = rule.Name()
 	}
-	for _, pkg := range pkgs {
-		for i, rule := range rules {
-			name := rule.Name()
-			//lint:ignore determinism per-rule timing is diagnostic stderr output, never solver input
-			start := time.Now()
-			rule.Check(pkg, func(f *File, pos token.Pos, format string, args ...any) {
-				p := f.Fset.Position(pos)
-				raw = append(raw, Finding{
-					Path: f.Path, Line: p.Line, Col: p.Column,
-					Rule: name, Message: fmt.Sprintf(format, args...),
-				})
+	times[len(rules)].Rule = "(summaries)"
+
+	//lint:ignore determinism per-rule timing is diagnostic stderr output, never solver input
+	start := time.Now()
+	mod := newModule(pkgs)
+	times[len(rules)].Elapsed = time.Since(start)
+
+	for i, rule := range rules {
+		name := rule.Name()
+		report := func(f *File, pos token.Pos, format string, args ...any) {
+			p := f.Fset.Position(pos)
+			raw = append(raw, Finding{
+				Path: f.Path, Line: p.Line, Col: p.Column,
+				Rule: name, Message: fmt.Sprintf(format, args...),
 			})
-			times[i].Elapsed += time.Since(start)
 		}
+		//lint:ignore determinism per-rule timing is diagnostic stderr output, never solver input
+		start := time.Now()
+		if mr, ok := rule.(ModuleRule); ok {
+			mr.CheckModule(mod, report)
+		} else {
+			for _, pkg := range pkgs {
+				rule.Check(pkg, report)
+			}
+		}
+		times[i].Elapsed += time.Since(start)
 	}
 
 	known := make(map[string]bool)

@@ -398,8 +398,8 @@ func TestRunTimed(t *testing.T) {
 	if len(findings) == 0 {
 		t.Fatal("expected findings from the nakedgoroutine fixture")
 	}
-	if len(times) != len(AllRules()) {
-		t.Fatalf("got %d rule timings, want %d", len(times), len(AllRules()))
+	if len(times) != len(AllRules())+1 {
+		t.Fatalf("got %d rule timings, want %d (rules + summaries)", len(times), len(AllRules())+1)
 	}
 	seen := make(map[string]bool)
 	for _, rt := range times {
@@ -409,6 +409,9 @@ func TestRunTimed(t *testing.T) {
 		if !seen[r.Name()] {
 			t.Errorf("no timing entry for rule %s", r.Name())
 		}
+	}
+	if !seen["(summaries)"] {
+		t.Error("no timing entry for the cross-package summary pass")
 	}
 }
 

@@ -79,6 +79,13 @@ func load(fset *token.FileSet, root string, patterns ...string) ([]*Package, err
 		pkgs = append(pkgs, p)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	if len(pkgs) == 0 {
+		// A pattern that resolves to directories but no Go files is a
+		// user error (a typo'd path, a tree of testdata): a silent
+		// 0-finding exit would report a clean bill of health on code
+		// that was never looked at.
+		return nil, fmt.Errorf("lint: no Go packages match %s", strings.Join(patterns, " "))
+	}
 	return pkgs, nil
 }
 

@@ -10,23 +10,27 @@ import (
 // (DESIGN.md §8): once an instance is handed to the worker pool, the
 // *data.Instance and *graph.Graph it references are shared read-only
 // across concurrently running cells, so nothing reached from a cell may
-// write through them. The rule is typed and inter-procedural within
-// internal/bench: it starts at every function literal submitted via
-// pool.cell, classifies the provenance of each *Instance/*Graph value
-// in scope (owned: built here from a composite literal, new, or a
-// Clone call; shared: received from a memoized builder, captured from
-// the enclosing sweep, or derived from either), follows shared values
-// into same-package callees, and reports any field write, element
-// write, pointer store, or copy() whose destination is rooted in a
-// shared value. A shallow value copy (inst := *shared) owns its direct
-// fields but not the backing arrays of its slice/map fields — writing
-// copy.K is fine, writing copy.Customers[i] is a finding.
+// write through them. The rule is typed and runs on the v3 engine: it
+// starts at every function literal submitted via pool.cell, seeds the
+// flow-sensitive provenance analysis (provenance.go) — owned: built
+// here from a composite literal, new, or a Clone call; shared: received
+// from a memoized builder, captured from the enclosing sweep, or
+// derived from either — and reports any field write, element write,
+// pointer store, or copy() whose destination is rooted in a shared
+// value *at that program point*. Rebinding heals: after
+// `inst = inst.Clone()` the variable is owned on every path below, and
+// facts merge at branch joins, so only paths where the value is really
+// shared are reported. A shallow value copy (inst := *shared) owns its
+// direct fields but not the backing arrays of its slice/map fields —
+// writing copy.K is fine, writing copy.Customers[i] is a finding.
 //
-// The analysis is deliberately conservative where it cannot see:
-// writes hidden behind method calls or out-of-package functions are
-// not tracked (the race detector covers those), and construction-phase
-// helpers that fill an instance before submission (builders outside
-// cell closures) are out of scope by design.
+// Same-package callees taking a shared argument are followed and
+// analyzed with that parameter marked shared. Out-of-package callees
+// are resolved against the module's function summaries (summary.go):
+// a call passing a shared value where the summary proves a write is
+// reported at the call site. Where no summary exists (interface
+// methods, closures, unsummarized packages) the analysis stays silent,
+// as before — the race detector covers what it cannot see.
 type SharedMutation struct{}
 
 // Name implements Rule.
@@ -37,55 +41,50 @@ func (SharedMutation) Doc() string {
 	return "no writes through a pool-shared *data.Instance/*graph.Graph after submission to the bench worker pool"
 }
 
-// Check implements Rule. The rule needs type information; without it
-// (plain Load) it stays silent rather than guessing.
-func (SharedMutation) Check(pkg *Package, report ReportFunc) {
-	if pkg.Dir != "internal/bench" || !pkg.Typed() {
-		return
-	}
-	c := &sharedChecker{pkg: pkg, report: report, analyzed: make(map[string]bool)}
-	decls := make(map[types.Object]*declSite)
-	for _, f := range pkg.Files {
-		if f.Test {
-			continue
-		}
-		for _, decl := range f.AST.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				if obj := pkg.ObjectOf(fd.Name); obj != nil {
-					decls[obj] = &declSite{file: f, decl: fd}
-				}
-			}
-		}
-	}
-	c.decls = decls
+// Check implements Rule for direct single-package use; Run prefers
+// CheckModule, which sees cross-package summaries.
+func (r SharedMutation) Check(pkg *Package, report ReportFunc) {
+	r.CheckModule(newModule([]*Package{pkg}), report)
+}
 
-	// Entry points: every FuncLit submitted through a .cell(...) call.
-	for _, f := range pkg.Files {
-		if f.Test {
+// CheckModule implements ModuleRule. The rule needs type information;
+// without it (plain Load) it stays silent rather than guessing.
+func (SharedMutation) CheckModule(m *Module, report ReportFunc) {
+	for _, pkg := range m.Pkgs {
+		if pkg.Dir != "internal/bench" || !pkg.Typed() {
 			continue
 		}
-		f := f
-		ast.Inspect(f.AST, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		c := &sharedChecker{pkg: pkg, mod: m, report: report, analyzed: make(map[string]bool)}
+		c.decls = pkg.funcDecls()
+
+		// Entry points: every FuncLit submitted through a .cell(...) call.
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "cell" {
-				return true
-			}
-			for _, arg := range call.Args {
-				if lit, ok := arg.(*ast.FuncLit); ok {
-					c.analyze(f, lit.Type, lit.Body, nil, true)
+			f := f
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
 				}
-			}
-			return true
-		})
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "cell" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						c.analyze(f, lit.Type, lit.Body, nil, true)
+					}
+				}
+				return true
+			})
+		}
 	}
 }
 
-// provenance is the lattice the checker tracks per value, ordered so
-// that a flow-insensitive merge can take the maximum.
+// provenance is the lattice the engine tracks per value, ordered so
+// that the dataflow merge can take the maximum.
 type provenance int
 
 const (
@@ -103,16 +102,10 @@ type declSite struct {
 
 type sharedChecker struct {
 	pkg      *Package
+	mod      *Module
 	report   ReportFunc
 	decls    map[types.Object]*declSite
 	analyzed map[string]bool // decl+shared-param mask, cycle/duplicate guard
-}
-
-// sharedScope is the per-function analysis state.
-type sharedScope struct {
-	vars map[types.Object]provenance
-	defs map[types.Object]bool // objects defined inside the analyzed body
-	cell bool                  // body runs inside a pool cell
 }
 
 // trackedType reports whether t is (a pointer to) data.Instance or
@@ -124,20 +117,20 @@ func trackedType(t types.Type) bool {
 		isNamedType(t, true, "internal/graph", "Graph") || isNamedType(t, true, "graph", "Graph")
 }
 
-// analyze walks one function body. sharedParams maps parameter index to
-// the provenance flowing in from a call site (nil for cell literals,
-// whose sharing comes from capture and builder calls instead).
+// analyze runs the provenance flow over one function body. sharedParams
+// maps parameter index to the provenance flowing in from a call site
+// (nil for cell literals, whose sharing comes from capture and builder
+// calls instead).
 func (c *sharedChecker) analyze(f *File, ft *ast.FuncType, body *ast.BlockStmt, sharedParams map[int]provenance, cell bool) {
-	sc := &sharedScope{vars: make(map[types.Object]provenance), defs: make(map[types.Object]bool), cell: cell}
+	defs := collectDefs(c.pkg, ft, body)
+	seed := make(provState)
 	idx := 0
 	if ft.Params != nil {
 		for _, field := range ft.Params.List {
 			for _, name := range field.Names {
-				obj := c.pkg.ObjectOf(name)
-				if obj != nil {
-					sc.defs[obj] = true
+				if obj := c.pkg.ObjectOf(name); obj != nil {
 					if p, ok := sharedParams[idx]; ok {
-						sc.vars[obj] = p
+						seed[obj] = p
 					}
 				}
 				idx++
@@ -145,155 +138,68 @@ func (c *sharedChecker) analyze(f *File, ft *ast.FuncType, body *ast.BlockStmt, 
 		}
 	}
 
-	// Two propagation passes so a later alias (g := inst.G before inst
-	// is classified by a subsequent pattern) still resolves; merging
-	// takes the maximum, so over-approximation can only surface more
-	// writes, never hide one.
-	for range [2]struct{}{} {
-		ast.Inspect(body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				c.propagate(sc, n)
-			case *ast.ValueSpec:
-				for i, name := range n.Names {
-					obj := c.pkg.ObjectOf(name)
-					if obj == nil {
-						continue
-					}
-					sc.defs[obj] = true
-					if i < len(n.Values) {
-						c.merge(sc, obj, c.provenanceOf(sc, n.Values[i]))
-					}
-				}
+	var pf *provFlow
+	pf = &provFlow{
+		pkg:  c.pkg,
+		defs: defs,
+		identProv: func(s provState, obj types.Object) provenance {
+			// A tracked value captured from outside a cell literal
+			// crossed into the pool with the submission: shared by
+			// definition.
+			if cell && !defs[obj] && trackedType(obj.Type()) {
+				return provShared
 			}
-			return true
-		})
-	}
-
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				c.checkWrite(f, sc, lhs, n.Pos())
-			}
-		case *ast.IncDecStmt:
-			c.checkWrite(f, sc, n.X, n.Pos())
-		case *ast.CallExpr:
-			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "copy" && len(n.Args) > 0 {
-				if p := c.provenanceOf(sc, n.Args[0]); p == provShared || p == provBacking {
-					c.report(f, n.Pos(),
-						"copy() into a pool-shared instance's backing array; cells must treat submitted instances as read-only (clone or rebuild instead)")
-				}
-			}
-			c.follow(f, sc, n)
-		}
-		return true
-	})
-}
-
-// propagate records provenance flowing through one assignment.
-func (c *sharedChecker) propagate(sc *sharedScope, as *ast.AssignStmt) {
-	record := func(lhs ast.Expr, p provenance) {
-		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
-			if obj := c.pkg.ObjectOf(id); obj != nil {
-				sc.defs[obj] = true
-				c.merge(sc, obj, p)
-			}
-		}
-	}
-	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
-		// Multi-value call: the first result carries the instance.
-		record(as.Lhs[0], c.provenanceOf(sc, as.Rhs[0]))
-		for _, lhs := range as.Lhs[1:] {
-			record(lhs, provUnknown)
-		}
-		return
-	}
-	if len(as.Lhs) == len(as.Rhs) {
-		for i := range as.Lhs {
-			record(as.Lhs[i], c.provenanceOf(sc, as.Rhs[i]))
-		}
-	}
-}
-
-func (c *sharedChecker) merge(sc *sharedScope, obj types.Object, p provenance) {
-	if p > sc.vars[obj] {
-		sc.vars[obj] = p
-	}
-}
-
-// provenanceOf classifies an expression. Reference-typed projections
-// (pointer, slice, map fields and elements) of a shared or
-// backing-shared value point into the shared object graph; value-typed
-// projections of a shared pointer are reads of shared memory that
-// become local copies on assignment, hence provBacking.
-func (c *sharedChecker) provenanceOf(sc *sharedScope, e ast.Expr) provenance {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		obj := c.pkg.ObjectOf(e)
-		if obj == nil {
 			return provUnknown
-		}
-		if p, ok := sc.vars[obj]; ok && p != provUnknown {
-			return p
-		}
-		// A tracked value captured from outside a cell literal crossed
-		// into the pool with the submission: shared by definition.
-		if sc.cell && !sc.defs[obj] && trackedType(obj.Type()) {
-			return provShared
-		}
-		return provUnknown
-	case *ast.SelectorExpr:
-		base := c.provenanceOf(sc, e.X)
-		t := c.pkg.TypeOf(e)
-		switch base {
-		case provShared, provBacking:
-			if isReferenceType(t) {
+		},
+		selectorProv: func(s provState, e *ast.SelectorExpr) provenance {
+			// Unqualified selector (captured struct field, package var)
+			// of a tracked type inside a cell: shared, same argument as
+			// idents.
+			if cell && trackedType(c.pkg.TypeOf(e)) && !isPkgName(c.pkg, e.X) {
 				return provShared
 			}
-			return provBacking
-		case provOwned:
-			return provOwned
-		}
-		// Unqualified selector (captured struct field, package var) of a
-		// tracked type inside a cell: shared, same argument as idents.
-		if sc.cell && trackedType(t) && !isPkgName(c.pkg, e.X) {
-			return provShared
-		}
-		return provUnknown
-	case *ast.IndexExpr:
-		base := c.provenanceOf(sc, e.X)
-		if base == provShared || base == provBacking {
-			if isReferenceType(c.pkg.TypeOf(e)) {
-				return provShared
+			return provUnknown
+		},
+		callProv: func(s provState, call *ast.CallExpr) provenance {
+			return c.callProvenance(pf, s, call, cell)
+		},
+		onWrite: func(kind writeKind, e ast.Expr, pos token.Pos) {
+			switch kind {
+			case wkField:
+				sel := e.(*ast.SelectorExpr)
+				c.report(f, pos,
+					"write to field %s of a pool-shared instance after submission; cells must treat submitted instances as read-only (take a shallow copy before the pool, as runCoworkingSweep does)", sel.Sel.Name)
+			case wkElem:
+				c.report(f, pos,
+					"element write into a pool-shared backing array after submission; a shallow instance copy still shares its slices — clone the slice before mutating")
+			case wkPtr:
+				c.report(f, pos,
+					"store through a pointer into a pool-shared instance after submission; cells must treat submitted instances as read-only")
+			case wkCopy:
+				c.report(f, pos,
+					"copy() into a pool-shared instance's backing array; cells must treat submitted instances as read-only (clone or rebuild instead)")
 			}
-			return provBacking
-		}
-		return base
-	case *ast.StarExpr:
-		if p := c.provenanceOf(sc, e.X); p == provShared {
-			return provBacking // value copy of the shared object
-		} else if p != provUnknown {
-			return p
-		}
-		return provUnknown
-	case *ast.UnaryExpr:
-		return c.provenanceOf(sc, e.X) // &x shares x's classification
-	case *ast.CompositeLit:
-		return provOwned
-	case *ast.CallExpr:
-		return c.callProvenance(sc, e)
-	case *ast.TypeAssertExpr:
-		return c.provenanceOf(sc, e.X)
+		},
+		onCall: func(s provState, call *ast.CallExpr) {
+			c.follow(f, pf, s, call)
+		},
+		onFuncLit: func(lit *ast.FuncLit, snap provState) {
+			// The literal captures the enclosing state; its own params
+			// are already in defs (collectDefs descends).
+			pf.analyze(lit.Body, snap)
+		},
 	}
-	return provUnknown
+	pf.analyze(body, seed)
 }
 
 // callProvenance classifies a call result: constructions (new, Clone)
-// are owned; inside a cell any other call yielding a tracked type hands
-// out the pool-shared value (memoized builders, captured closures);
-// elsewhere a call is shared only when a shared value flows in.
-func (c *sharedChecker) callProvenance(sc *sharedScope, call *ast.CallExpr) provenance {
+// are owned; summarized out-of-package callees answer precisely
+// (provably fresh results are owned, result-aliases-parameter maps the
+// argument provenance through); otherwise, inside a cell any call
+// yielding a tracked type hands out the pool-shared value (memoized
+// builders, captured closures), and elsewhere a call is shared only
+// when a shared value flows in.
+func (c *sharedChecker) callProvenance(pf *provFlow, s provState, call *ast.CallExpr, cell bool) provenance {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		if fun.Name == "new" {
@@ -304,78 +210,136 @@ func (c *sharedChecker) callProvenance(sc *sharedScope, call *ast.CallExpr) prov
 			return provOwned
 		}
 	}
+
+	callee, recv := resolveCallee(c.pkg, call)
+	if callee != nil {
+		if _, local := c.decls[callee]; !local {
+			if fs := c.mod.funcSummaryOf(callee); fs != nil {
+				if fs.resultFresh {
+					return provOwned
+				}
+				if fs.resultAlias != 0 {
+					p := provUnknown
+					for slot, arg := range summaryArgs(call, recv) {
+						if slot < 64 && fs.resultAlias&(1<<uint(slot)) != 0 {
+							if ap := pf.provOf(s, arg); ap > p {
+								p = ap
+							}
+						}
+					}
+					if p == provShared || p == provBacking {
+						return pf.projectTo(provShared, firstResultType(c.pkg.TypeOf(call)))
+					}
+					return p
+				}
+			}
+		}
+	}
+
 	rt := firstResultType(c.pkg.TypeOf(call))
 	if !trackedType(rt) {
 		return provUnknown
 	}
-	if sc.cell {
+	if cell {
 		return provShared
 	}
 	for _, arg := range call.Args {
-		if p := c.provenanceOf(sc, arg); p == provShared || p == provBacking {
+		if p := pf.provOf(s, arg); p == provShared || p == provBacking {
 			return provShared
 		}
 	}
 	return provUnknown
 }
 
-// checkWrite reports lhs when it stores into pool-shared memory.
-// Rebinding a local variable (inst = other) is not a write to the
-// object and stays silent; field writes need a shared pointer base,
-// element writes fire on a shared backing array even when the
-// enclosing struct was copied by value.
-func (c *sharedChecker) checkWrite(f *File, sc *sharedScope, lhs ast.Expr, pos token.Pos) {
-	switch e := ast.Unparen(lhs).(type) {
-	case *ast.SelectorExpr:
-		if c.provenanceOf(sc, e.X) == provShared {
-			c.report(f, pos,
-				"write to field %s of a pool-shared instance after submission; cells must treat submitted instances as read-only (take a shallow copy before the pool, as runCoworkingSweep does)", e.Sel.Name)
+// follow handles a call with shared arguments: same-package function
+// callees are analyzed with the corresponding parameters marked shared
+// (the finding lands on the write inside the callee); out-of-package
+// callees are checked against their summary and reported at the call
+// site when the summary proves a write.
+func (c *sharedChecker) follow(f *File, pf *provFlow, s provState, call *ast.CallExpr) {
+	callee, recv := resolveCallee(c.pkg, call)
+	if callee == nil {
+		return
+	}
+	if site, ok := c.decls[callee]; ok && recv == nil {
+		shared := make(map[int]provenance)
+		key := ""
+		for i, arg := range call.Args {
+			if p := pf.provOf(s, arg); p == provShared || p == provBacking {
+				shared[i] = p
+				key += string(rune('a'+i%26)) + string(rune('0'+int(p)))
+			}
 		}
-	case *ast.IndexExpr:
-		if p := c.provenanceOf(sc, e.X); p == provShared || p == provBacking {
-			c.report(f, pos,
-				"element write into a pool-shared backing array after submission; a shallow instance copy still shares its slices — clone the slice before mutating")
+		if len(shared) == 0 {
+			return
 		}
-	case *ast.StarExpr:
-		if c.provenanceOf(sc, e.X) == provShared {
-			c.report(f, pos,
-				"store through a pointer into a pool-shared instance after submission; cells must treat submitted instances as read-only")
+		key = callee.Name() + ":" + key
+		if c.analyzed[key] {
+			return
 		}
+		c.analyzed[key] = true
+		c.analyze(site.file, site.decl.Type, site.decl.Body, shared, false)
+		return
+	}
+
+	fs := c.mod.funcSummaryOf(callee)
+	if fs == nil {
+		return
+	}
+	for slot, arg := range summaryArgs(call, recv) {
+		if slot >= len(fs.writes) || fs.writes[slot] != escYes {
+			continue
+		}
+		if pf.provOf(s, arg) != provShared {
+			continue
+		}
+		what := "argument"
+		if slot == 0 && recv != nil {
+			what = "receiver"
+		}
+		c.report(f, call.Pos(),
+			"call passes a pool-shared instance to %s, which writes through its %s; cells must treat submitted instances as read-only", calleeLabel(callee), what)
 	}
 }
 
-// follow propagates shared arguments into same-package callees and
-// analyzes them with the corresponding parameters marked shared.
-func (c *sharedChecker) follow(f *File, sc *sharedScope, call *ast.CallExpr) {
-	var callee types.Object
+// resolveCallee resolves the call's static callee object and, for
+// method calls, the receiver expression (summary slot 0).
+func resolveCallee(pkg *Package, call *ast.CallExpr) (types.Object, ast.Expr) {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		callee = c.pkg.ObjectOf(fun)
+		return pkg.ObjectOf(fun), nil
 	case *ast.SelectorExpr:
-		// Methods are opaque to this pass (see rule doc).
-		return
-	}
-	site, ok := c.decls[callee]
-	if !ok {
-		return
-	}
-	shared := make(map[int]provenance)
-	key := ""
-	for i, arg := range call.Args {
-		if p := c.provenanceOf(sc, arg); p == provShared || p == provBacking {
-			shared[i] = p
-			key += string(rune('a'+i%26)) + string(rune('0'+int(p)))
+		obj := pkg.ObjectOf(fun.Sel)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return nil, nil
 		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return fn, fun.X
+		}
+		return fn, nil
 	}
-	if len(shared) == 0 {
-		return
+	return nil, nil
+}
+
+// summaryArgs maps summary parameter slots to call-site expressions:
+// slot 0 is the receiver for method calls, then positional arguments.
+func summaryArgs(call *ast.CallExpr, recv ast.Expr) map[int]ast.Expr {
+	return callArgs(call, recv)
+}
+
+// calleeLabel renders a callee for a finding message: pkg.Func or
+// pkg.Type.Method.
+func calleeLabel(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return obj.Name()
 	}
-	key = callee.Name() + ":" + key
-	if c.analyzed[key] {
-		return
+	label := summaryKey(fn)
+	if fn.Pkg() != nil {
+		label = fn.Pkg().Name() + "." + label
 	}
-	c.analyzed[key] = true
-	c.analyze(site.file, site.decl.Type, site.decl.Body, shared, false)
+	return label
 }
 
 // isReferenceType reports whether values of t share underlying storage

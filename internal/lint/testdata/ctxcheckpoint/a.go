@@ -7,7 +7,7 @@ import "context"
 func bad(ctx context.Context, n int) int {
 	total := 0
 	for total < n { // want "never polls the context"
-		total++
+		total = total*2 + 1
 	}
 	return total
 }
@@ -61,7 +61,7 @@ func noCtx(n int) {
 func closure(ctx context.Context, n int) {
 	fn := func() {
 		for n > 0 { // want "never polls the context"
-			n--
+			n = n - 1
 		}
 	}
 	fn()
@@ -70,7 +70,73 @@ func closure(ctx context.Context, n int) {
 func suppressed(ctx context.Context, n int) int {
 	//lint:ignore ctx-checkpoint bounded in practice: n is a tiny constant at every call site
 	for n > 0 {
-		n--
+		n = n / 2
 	}
 	return n
+}
+
+// A pure monotone index walk is bounded by construction: every body
+// statement is ++/-- of one variable and the condition tests it. No
+// checkpoint needed.
+func boundedScan(ctx context.Context, xs []int, k int) int {
+	i := k - 1
+	for i >= 0 && xs[i] == 0 {
+		i--
+	}
+	return i
+}
+
+// Two mutated variables is not a monotone walk: the exemption is
+// deliberately that narrow.
+func notBoundedScan(ctx context.Context, k int) int {
+	i, j := k, 0
+	for i >= 0 { // want "never polls the context"
+		i--
+		j++
+	}
+	return j
+}
+
+// A local built by a *Ctx helper from the in-scope context is a
+// carrier: draining it polls the context through the helper.
+func carrier(ctx context.Context, n int) int {
+	s := newScannerCtx(ctx, n)
+	t := 0
+	for {
+		v, ok := s.next()
+		if !ok {
+			break
+		}
+		t += v
+	}
+	return t
+}
+
+// The same drain over a value built without the context still needs a
+// checkpoint.
+func notCarrier(ctx context.Context, n int) int {
+	s := newScanner(n)
+	t := 0
+	for { // want "never polls the context"
+		v, ok := s.next()
+		if !ok {
+			break
+		}
+		t += v
+	}
+	return t
+}
+
+type scanner struct{ n int }
+
+func newScannerCtx(ctx context.Context, n int) *scanner { return &scanner{n: n} }
+
+func newScanner(n int) *scanner { return &scanner{n: n} }
+
+func (s *scanner) next() (int, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	s.n--
+	return s.n, true
 }

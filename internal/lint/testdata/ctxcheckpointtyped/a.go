@@ -13,7 +13,7 @@ type Job interface {
 
 func unpolled(j Job, n int) int {
 	for n > 0 { // want "never polls the context"
-		n--
+		n = n - 1
 	}
 	return n
 }
@@ -39,8 +39,39 @@ func shadow(ctx context.Context, n int) int {
 	return n
 }
 
+// feed stands in for a context-carrying iterator (graph's NNSearcherCtx
+// in the real module).
+type feed struct{ n int }
+
+func openFeedCtx(j Job, n int) *feed { return &feed{n: n} }
+
+func (f *feed) next() (int, bool) {
+	if f.n == 0 {
+		return 0, false
+	}
+	f.n--
+	return f.n, true
+}
+
+// drain polls j through the feed the Ctx helper built from it: the
+// carrier resolves by object identity, so the loop needs no extra
+// checkpoint.
+func drain(j Job, n int) int {
+	f := openFeedCtx(j, n)
+	t := 0
+	for {
+		v, ok := f.next()
+		if !ok {
+			break
+		}
+		t += v
+	}
+	return t
+}
+
 func keep() {
 	_ = unpolled
 	_ = polled
 	_ = shadow
+	_ = drain
 }

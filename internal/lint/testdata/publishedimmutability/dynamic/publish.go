@@ -1,0 +1,54 @@
+// Package dynamic is the fixture stand-in for the module's dynamic
+// layer: it owns the Published view type and its constructor.
+package dynamic
+
+// Published mirrors the real immutable view: scalar fields plus
+// slice/map backing storage shared with every reader holding the
+// snapshot.
+type Published struct {
+	Objective int64
+	Selected  []int
+	pos       map[int]int
+}
+
+// Reallocator is the mutable state Publish snapshots.
+type Reallocator struct {
+	selected []int
+}
+
+// Publish builds a fresh view: the composite literal makes it owned,
+// so the construction writes below are not findings.
+func (r *Reallocator) Publish() *Published {
+	p := &Published{
+		Selected: append([]int(nil), r.selected...),
+		pos:      make(map[int]int, len(r.selected)),
+	}
+	for i, s := range p.Selected {
+		p.pos[s] = i // filling an owned view before return: fine
+	}
+	p.Objective = int64(len(p.Selected))
+	return p
+}
+
+// Clone deep-copies a view; its result is owned by convention.
+func (p *Published) Clone() *Published {
+	return &Published{
+		Objective: p.Objective,
+		Selected:  append([]int(nil), p.Selected...),
+	}
+}
+
+// retarget mutates a live view in place — exactly what the swap
+// discipline forbids.
+func retarget(p *Published, sel []int) {
+	p.Objective = 1        // want "write to field Objective of a published view"
+	p.Selected[0] = sel[0] // want "element write into a published view's backing array"
+	copy(p.Selected, sel)  // want "copy() into a published view's backing array"
+}
+
+// reclone heals: after rebinding to a Clone the value is owned.
+func reclone(p *Published) *Published {
+	p = p.Clone()
+	p.Objective = 2 // owned since the Clone: no finding
+	return p
+}

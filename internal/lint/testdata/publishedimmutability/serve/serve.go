@@ -1,0 +1,52 @@
+// Package serve is the fixture stand-in for the serving layer: it
+// publishes views through an atomic pointer and must never write
+// through what it loads back out.
+package serve
+
+import (
+	"sync/atomic"
+
+	"fix/dynamic"
+)
+
+type view struct {
+	pub  *dynamic.Published
+	note string
+}
+
+type Server struct {
+	view atomic.Pointer[view]
+	r    *dynamic.Reallocator
+}
+
+// publish builds a fresh view and swaps it in: the write path the
+// design prescribes, no findings.
+func (s *Server) publish() {
+	pub := s.r.Publish()
+	s.view.Store(&view{pub: pub, note: "fresh"})
+}
+
+// patch mutates the loaded snapshot in place: concurrent readers hold
+// it, so both writes are findings.
+func (s *Server) patch(note string) {
+	v := s.view.Load()
+	v.note = note       // want "write to field note of a published view"
+	v.pub.Objective = 0 // want "write to field Objective of a published view"
+}
+
+// shallow copies the view by value: scalar fields become owned, the
+// backing arrays stay shared.
+func (s *Server) shallow(sel []int) int64 {
+	v := *s.view.Load().pub
+	v.Objective = 9        // value copy owns its fields: no finding
+	v.Selected[0] = sel[0] // want "element write into a published view's backing array"
+	return v.Objective
+}
+
+// rebuild goes through Clone before editing: owned, no findings.
+func (s *Server) rebuild() {
+	next := s.view.Load().pub.Clone()
+	next.Objective = 3
+	next.Selected = append(next.Selected, 1)
+	s.view.Store(&view{pub: next})
+}

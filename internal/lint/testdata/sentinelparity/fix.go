@@ -1,0 +1,28 @@
+// Package fix is the fixture stand-in for the module root: the public
+// error taxonomy the serving layer must mirror.
+package fix
+
+import "errors"
+
+// ErrInfeasible is mapped exactly once in serve's table: parity holds.
+var ErrInfeasible = errors.New("fix: infeasible")
+
+// ErrTooLarge is mapped twice in serve's table: the duplicate is
+// reported there.
+var ErrTooLarge = errors.New("fix: too large")
+
+// ErrMissing never made it into serve's table.
+var ErrMissing = errors.New("fix: missing") // want "exported sentinel ErrMissing has no mapping in serve's error table"
+
+// errInternal is unexported: not part of the public taxonomy, out of
+// scope for parity.
+var errInternal = errors.New("fix: internal")
+
+// Wrap keeps the unexported sentinel referenced so the fixture
+// compiles vet-clean.
+func Wrap(err error) error {
+	if err == nil {
+		return errInternal
+	}
+	return err
+}

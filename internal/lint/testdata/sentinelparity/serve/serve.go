@@ -1,0 +1,33 @@
+// Package serve is the fixture stand-in for the serving layer's error
+// table: statusOf maps the public sentinel taxonomy onto HTTP.
+package serve
+
+import (
+	"errors"
+
+	"fix"
+)
+
+// ErrShutdown is a serve-internal sentinel; it participates in the
+// duplicate check but not in the root parity check.
+var ErrShutdown = errors.New("serve: shutting down")
+
+func statusOf(err error) (int, string) {
+	switch {
+	case errors.Is(err, fix.ErrInfeasible):
+		return 422, "infeasible"
+	case errors.Is(err, fix.ErrTooLarge):
+		return 413, "too_large"
+	case errors.Is(err, fix.ErrTooLarge): // want "sentinel ErrTooLarge is mapped 2 times"
+		return 400, "too_large_again"
+	case errors.Is(err, ErrShutdown):
+		return 503, "shutting_down"
+	case errors.Is(err, ErrShutdown): // want "sentinel ErrShutdown is mapped 2 times"
+		return 503, "shutting_down_again"
+	default:
+		return 400, "bad_request"
+	}
+}
+
+// Status is the exported wrapper handlers use.
+func Status(err error) (int, string) { return statusOf(err) }

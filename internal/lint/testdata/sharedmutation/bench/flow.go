@@ -1,0 +1,58 @@
+// flow.go exercises the v3 engine: flow-sensitive facts (rebinding
+// heals, branch joins merge, loop back edges propagate) and
+// cross-package summaries (writes proven in fix/graph and fix/data are
+// reported at the bench call site; provably fresh results are owned).
+package bench
+
+import (
+	"fix/data"
+	"fix/graph"
+)
+
+func flowSweep(p *pool, pt point, cond bool, n int) {
+	p.cell(func() {
+		inst := pt.inst()
+		inst = inst.Clone()
+		inst.K = 5 // rebinding healed it: owned from the Clone on
+		use(inst)
+	})
+	p.cell(func() {
+		inst := pt.inst().Clone()
+		if cond {
+			inst = pt.inst()
+		}
+		inst.K = 1 // want "write to field K of a pool-shared instance"
+		use(inst)
+	})
+	p.cell(func() {
+		cl := pt.inst().Clone()
+		for i := 0; i < n; i++ {
+			cl.Customers[0] = 1 // want "element write into a pool-shared backing array"
+			cl = pt.inst()      // shared flows around the back edge into the next iteration
+		}
+	})
+	p.cell(func() {
+		inst := pt.inst()
+		graph.Scale(inst.G, 2) // want "writes through its argument"
+		use(inst)
+	})
+	p.cell(func() {
+		pt.inst().G.Reset() // want "writes through its receiver"
+	})
+	p.cell(func() {
+		own := data.Fresh(3) // provably fresh across the package boundary: owned
+		own.K = 7
+		own.Customers[0] = 1
+		use(own)
+	})
+	p.cell(func() {
+		inst := pt.inst()
+		data.Touch(inst) // want "writes through its argument"
+	})
+	p.cell(func() {
+		inst := pt.inst()
+		_ = graph.Degree(inst.G, 0) // read-only callee: no finding
+		v := graph.View(inst.G)
+		v.Adj[0][0] = 9 // want "element write into a pool-shared backing array"
+	})
+}

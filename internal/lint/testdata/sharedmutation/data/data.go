@@ -27,3 +27,14 @@ func (in *Instance) Clone() *Instance {
 		K:          in.K,
 	}
 }
+
+// Fresh provably allocates on every return path: importers may treat
+// its result as owned even inside a pool cell.
+func Fresh(k int) *Instance {
+	return &Instance{K: k, Customers: make([]int64, 4)}
+}
+
+// Touch writes through its parameter.
+func Touch(in *Instance) {
+	in.K++
+}

@@ -16,3 +16,30 @@ func (g *Graph) Clone() *Graph {
 	}
 	return &Graph{N: g.N, Adj: adj}
 }
+
+// Scale writes through its parameter: the summary must prove the
+// write so importers can report call sites passing shared graphs.
+func Scale(g *Graph, f int64) {
+	g.Adj[0][0] = f
+}
+
+// Reset writes through its receiver (summary slot 0).
+func (g *Graph) Reset() {
+	for i := range g.Adj {
+		for j := range g.Adj[i] {
+			g.Adj[i][j] = 0
+		}
+	}
+}
+
+// Degree only reads; its summary must stay write-free.
+func Degree(g *Graph, i int) int {
+	return len(g.Adj[i])
+}
+
+// View returns its parameter unchanged: the summary records the
+// result-aliases-parameter fact, so the caller's provenance survives
+// the call.
+func View(g *Graph) *Graph {
+	return g
+}

@@ -106,7 +106,6 @@ func ExhaustiveCtx(ctx context.Context, inst *data.Instance, maxSubsets int64) (
 		}
 		// Next combination in lexicographic order.
 		i := k - 1
-		//lint:ignore ctx-checkpoint bounded index scan (at most k iterations); the enclosing loop checkpoints
 		for i >= 0 && subset[i] == l-k+i {
 			i--
 		}
