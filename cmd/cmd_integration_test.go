@@ -159,9 +159,9 @@ func TestCompareTool(t *testing.T) {
 }
 
 // startMCFSD launches the daemon on a free port and returns its base
-// URL plus a stop function that sends SIGTERM and waits for a clean
-// exit.
-func startMCFSD(t *testing.T, args ...string) (string, func()) {
+// URL, the debug listener's URL (empty unless -debug-addr was passed),
+// plus a stop function that sends SIGTERM and waits for a clean exit.
+func startMCFSD(t *testing.T, args ...string) (string, string, func()) {
 	t.Helper()
 	cmd := exec.Command(filepath.Join(binDir, "mcfsd"), append(args, "-addr", "127.0.0.1:0")...)
 	stdout, err := cmd.StdoutPipe()
@@ -174,8 +174,13 @@ func startMCFSD(t *testing.T, args ...string) (string, func()) {
 	}
 	sc := bufio.NewScanner(stdout)
 	listenRe := regexp.MustCompile(`listening on (http://\S+)`)
-	var url string
+	debugRe := regexp.MustCompile(`debug listener .* on (http://\S+)`)
+	var url, debugURL string
 	for sc.Scan() {
+		if m := debugRe.FindStringSubmatch(sc.Text()); m != nil {
+			debugURL = m[1]
+			continue
+		}
 		if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
 			url = m[1]
 			break
@@ -198,7 +203,7 @@ func startMCFSD(t *testing.T, args ...string) (string, func()) {
 			t.Fatalf("mcfsd did not exit cleanly: %v", err)
 		}
 	}
-	return url, stop
+	return url, debugURL, stop
 }
 
 // getJSON fetches url and decodes the JSON body into out.
@@ -231,7 +236,7 @@ func TestMCFSDServeSnapshotRestart(t *testing.T) {
 		"-m", "40", "-l", "80", "-cap", "8", "-k", "8",
 		"-seed", "11", "-o", inst)
 
-	url, stop := startMCFSD(t, "-in", inst)
+	url, _, stop := startMCFSD(t, "-in", inst)
 
 	// Liveness and an assignment query.
 	resp, err := http.Get(url + "/healthz")
@@ -287,7 +292,7 @@ func TestMCFSDServeSnapshotRestart(t *testing.T) {
 
 	// Restart from the snapshot: the published objective must be
 	// byte-identical to the snapshotted one.
-	url2, stop2 := startMCFSD(t, "-in", inst, "-restore", snapPath)
+	url2, _, stop2 := startMCFSD(t, "-in", inst, "-restore", snapPath)
 	defer stop2()
 	var after struct {
 		Objective int64 `json:"objective"`
@@ -297,6 +302,147 @@ func TestMCFSDServeSnapshotRestart(t *testing.T) {
 	if after.Objective != before.Objective || after.Customers != before.Customers {
 		t.Fatalf("restart drifted: objective %d->%d, customers %d->%d",
 			before.Objective, after.Objective, before.Customers, after.Customers)
+	}
+}
+
+// TestMCFSDObservability exercises the observability surface end to
+// end: /healthz build info, Prometheus-shaped /metrics with live solver
+// work counters, X-Request-Id stamping, and the -debug-addr listener's
+// expvar + pprof endpoints.
+func TestMCFSDObservability(t *testing.T) {
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "uniform", "-n", "500", "-alpha", "2.5",
+		"-m", "40", "-l", "80", "-cap", "8", "-k", "8",
+		"-seed", "11", "-o", inst)
+
+	url, debugURL, stop := startMCFSD(t, "-in", inst, "-debug-addr", "127.0.0.1:0")
+	defer stop()
+	if debugURL == "" {
+		t.Fatal("mcfsd never printed its debug listener address")
+	}
+
+	// Build identity on the liveness probe.
+	var hz struct {
+		Status        string  `json:"status"`
+		GoVersion     string  `json:"go_version"`
+		VCSRevision   string  `json:"vcs_revision"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	getJSON(t, url+"/healthz", &hz)
+	if hz.Status != "ok" || !strings.HasPrefix(hz.GoVersion, "go") || hz.VCSRevision == "" {
+		t.Fatalf("healthz build info incomplete: %+v", hz)
+	}
+	if hz.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %+v", hz)
+	}
+
+	// Drive a little work so the counters move, and check the
+	// request-id header on the way.
+	resp, err := http.Get(url + "/assign?customer=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("response missing X-Request-Id")
+	}
+
+	mResp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(mResp.Body)
+	mResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := mResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content-type %q", ct)
+	}
+	metrics := string(metricsBody)
+	for _, want := range []string{
+		"mcfs_sspa_augmenting_paths_total",
+		"mcfsd_batches_total",
+		"mcfsd_request_duration_seconds_count",
+		"# TYPE mcfs_dijkstra_heap_pops_total counter",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Debug listener: expvar must publish the same counter names, and
+	// the pprof index must answer.
+	var vars struct {
+		Counters map[string]int64 `json:"mcfs_counters"`
+	}
+	getJSON(t, debugURL+"/debug/vars", &vars)
+	if _, ok := vars.Counters["sspa_augmenting_paths"]; !ok {
+		t.Fatalf("expvar mcfs_counters missing solver counters: %v", vars.Counters)
+	}
+	pp, err := http.Get(debugURL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, pp.Body)
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline = %d", pp.StatusCode)
+	}
+}
+
+// TestCLITrace: -trace writes a JSONL span tree whose lines parse and
+// cover the WMA phases, and tracing must not change the reported
+// objective.
+func TestCLITrace(t *testing.T) {
+	dir := t.TempDir()
+	inst := filepath.Join(dir, "inst.mcfs")
+	run(t, "mcfsgen",
+		"-type", "clustered", "-n", "600", "-clusters", "6",
+		"-m", "30", "-l", "80", "-cap", "5", "-k", "8", "-o", inst)
+	plain := run(t, "mcfscli", "-algo", "wma", "-in", inst)
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	traced := run(t, "mcfscli", "-algo", "wma", "-in", inst, "-trace", tracePath)
+
+	objective := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "objective") {
+				return strings.TrimSpace(strings.TrimPrefix(line, "objective"))
+			}
+		}
+		return ""
+	}
+	if a, b := objective(plain), objective(traced); a == "" || a != b {
+		t.Fatalf("objective changed under -trace: %q vs %q", a, b)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSolve, sawIterate bool
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var span struct {
+			Depth     int              `json:"depth"`
+			Name      string           `json:"name"`
+			ElapsedNS int64            `json:"elapsed_ns"`
+			Counters  map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("unparseable trace line %q: %v", line, err)
+		}
+		switch span.Name {
+		case "wma/solve":
+			sawSolve = true
+		case "wma/iterate":
+			sawIterate = true
+		}
+	}
+	if !sawSolve || !sawIterate {
+		t.Fatalf("trace missing wma phases (solve=%v iterate=%v):\n%s", sawSolve, sawIterate, data)
 	}
 }
 

@@ -5,6 +5,11 @@
 //	mcfscli -algo wma -in inst.mcfs
 //	mcfscli -algo exact -timeout 60s -in inst.mcfs
 //	mcfscli -algo hilbert -in inst.mcfs -assignment
+//
+// -trace FILE attaches a work recorder to the solve and writes the
+// resulting phase-span tree (elapsed time plus solver work-counter
+// deltas per phase) to FILE as JSON lines; recording is passive and
+// never changes the solution.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"mcfs"
+	"mcfs/internal/obs"
 )
 
 func algoNames() string {
@@ -35,6 +41,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for -algo naive")
 		assignment = flag.Bool("assignment", false, "print the per-customer assignment")
 		verify     = flag.Bool("verify", true, "re-verify the solution from scratch")
+		trace      = flag.String("trace", "", "write the solve's phase-span tree to this file as JSON lines")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -57,14 +64,26 @@ func main() {
 		inst.K = *kOverride
 	}
 
+	ctx := context.Background()
+	var rec *obs.Recorder
+	if *trace != "" {
+		rec = obs.New()
+		ctx = obs.WithRecorder(ctx, rec)
+	}
+
 	start := time.Now()
-	sol, note, err := run(*algo, inst, *timeout, *seed)
+	sol, note, err := run(ctx, *algo, inst, *timeout, *seed)
 	elapsed := time.Since(start)
 	if err != nil && sol == nil {
 		fatal(err)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mcfscli: warning: %v (reporting best-so-far)\n", err)
+	}
+	if rec != nil {
+		if err := writeTrace(*trace, rec); err != nil {
+			fatal(fmt.Errorf("writing trace: %w", err))
+		}
 	}
 
 	if *verify {
@@ -89,7 +108,7 @@ func main() {
 	}
 }
 
-func run(algo string, inst *mcfs.Instance, timeout time.Duration, seed int64) (*mcfs.Solution, string, error) {
+func run(ctx context.Context, algo string, inst *mcfs.Instance, timeout time.Duration, seed int64) (*mcfs.Solution, string, error) {
 	a, err := mcfs.ParseAlgorithm(algo)
 	if err != nil {
 		return nil, "", err
@@ -98,7 +117,21 @@ func run(algo string, inst *mcfs.Instance, timeout time.Duration, seed int64) (*
 	if timeout > 0 {
 		opts = append(opts, mcfs.WithTimeBudget(timeout))
 	}
-	return a.Solve(context.Background(), inst, opts...)
+	return a.Solve(ctx, inst, opts...)
+}
+
+// writeTrace dumps the recorder's span tree to path as JSON lines.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteSpansJSONL(f, rec.Spans()); err != nil {
+		//lint:ignore closecheck the encode error already dooms the file; it dominates any close error
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -13,7 +13,16 @@
 //	POST /resolve             {"algorithm":"wma"} full re-solve + adopt
 //	GET  /snapshot            restartable JSON capture of the dynamic state
 //	GET  /stats               objective, drift, per-endpoint latency
-//	GET  /healthz             liveness probe
+//	GET  /metrics             Prometheus text exposition (work counters,
+//	                          batch counters, latency histograms)
+//	GET  /healthz             liveness probe + build info + uptime
+//
+// Every request is logged as one structured line (stderr, log/slog)
+// tagged with a request id that is echoed back as X-Request-Id; -quiet
+// disables the log. -debug-addr opt-in binds a SECOND listener serving
+// net/http/pprof and expvar (solver work counters under the
+// "mcfs_counters" var) — keep it on a loopback or otherwise trusted
+// address, profiling endpoints are not for the public network.
 //
 // The daemon prints "mcfsd: listening on http://ADDR" once the socket
 // is bound (use -addr 127.0.0.1:0 to pick a free port) and drains
@@ -24,10 +33,13 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on DefaultServeMux (served only on -debug-addr)
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +58,8 @@ func main() {
 		restore   = flag.String("restore", "", "restore dynamic state from a snapshot file")
 		batch     = flag.Int("batch", 0, "max operations coalesced per repair window (0 = default)")
 		opTimeout = flag.Duration("optimeout", 0, "per-operation deadline (0 = default 5s)")
+		debugAddr = flag.String("debug-addr", "", "optional second listener for net/http/pprof + expvar (trusted networks only)")
+		quiet     = flag.Bool("quiet", false, "disable the structured per-request log")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -83,6 +97,10 @@ func main() {
 		}
 	}
 
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	engine, err := serve.New(serve.Config{
 		Instance:       inst,
 		Algorithm:      algorithm,
@@ -90,13 +108,34 @@ func main() {
 		MaxBatch:       *batch,
 		DefaultTimeout: *opTimeout,
 		Snapshot:       snap,
+		Logger:         logger,
 	})
 	if err != nil {
 		fatal(err)
 	}
 
+	// Optional debug listener: pprof registered itself on
+	// http.DefaultServeMux via its import; expvar contributes the
+	// standard vars plus the solver work counters.
+	debugErr := make(chan error, 1)
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		expvar.Publish("mcfs_counters", expvar.Func(func() any {
+			return engine.Recorder().Snapshot()
+		}))
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			engine.Close()
+			fatal(err)
+		}
+		fmt.Printf("mcfsd: debug listener (pprof, expvar) on http://%s\n", dln.Addr())
+		debugSrv = &http.Server{Handler: http.DefaultServeMux}
+		go func() { debugErr <- debugSrv.Serve(dln) }()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		engine.Close()
 		fatal(err)
 	}
 	fmt.Printf("mcfsd: listening on http://%s (objective %d, %d customers)\n",
@@ -119,12 +158,24 @@ func main() {
 		<-errCh // Serve has returned ErrServerClosed
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
+			shutdownDebug(debugSrv, debugErr)
 			engine.Close()
 			fatal(err)
 		}
 	}
+	shutdownDebug(debugSrv, debugErr)
 	engine.Close()
 	fmt.Println("mcfsd: bye")
+}
+
+// shutdownDebug closes the debug listener (when one was started) and
+// joins its serve goroutine.
+func shutdownDebug(srv *http.Server, errCh chan error) {
+	if srv == nil {
+		return
+	}
+	_ = srv.Close()
+	<-errCh
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 	"mcfs"
 	"mcfs/internal/data"
 	"mcfs/internal/gen"
+	"mcfs/internal/obs"
 	"mcfs/internal/solver"
 )
 
@@ -57,6 +58,12 @@ type Row struct {
 	Objective int64         // objective value; -1 when not applicable
 	Runtime   time.Duration // wall-clock solve time
 	Note      string        // "", "timeout", "infeasible", or a stat payload
+	// Counters holds the solver work counters recorded during the run
+	// (nonzero entries only, keyed by obs counter name); nil for
+	// stat-only rows. Counters are machine-independent: unlike Runtime
+	// they are byte-stable across hosts and worker counts, which makes
+	// them the column to diff when chasing algorithmic regressions.
+	Counters map[string]int64
 }
 
 // Config tunes an experiment run.
@@ -173,6 +180,7 @@ func runAlgo(exp, x string, xv float64, algo Algo, inst *data.Instance, cfg Conf
 	var sol *data.Solution
 	var note string
 	var err error
+	rec := obs.New()
 	start := time.Now()
 	if !known {
 		err = fmt.Errorf("bench: unknown algorithm %q", algo)
@@ -183,7 +191,10 @@ func runAlgo(exp, x string, xv float64, algo Algo, inst *data.Instance, cfg Conf
 		} else if cfg.AlgoTimeout > 0 {
 			opts = append(opts, mcfs.WithTimeBudget(cfg.AlgoTimeout))
 		}
-		sol, note, err = pub.Solve(context.Background(), inst, opts...)
+		// Recording is passive (see internal/obs): the counters never feed
+		// back into the solve, and the per-flush atomic adds are noise next
+		// to a solve, so the Runtime column stays comparable to old rows.
+		sol, note, err = pub.Solve(obs.WithRecorder(context.Background(), rec), inst, opts...)
 	}
 	elapsed := time.Since(start)
 
@@ -193,7 +204,8 @@ func runAlgo(exp, x string, xv float64, algo Algo, inst *data.Instance, cfg Conf
 	timedOut := note == "timeout (best incumbent)" ||
 		errors.Is(err, solver.ErrTimeout) || errors.Is(err, context.DeadlineExceeded)
 
-	row := Row{Exp: exp, X: x, XVal: xv, Algo: algo, Runtime: elapsed, Objective: -1}
+	row := Row{Exp: exp, X: x, XVal: xv, Algo: algo, Runtime: elapsed, Objective: -1,
+		Counters: nonzeroCounters(rec)}
 	switch {
 	case timedOut:
 		// The incumbent at cutoff gets the same from-scratch verification
@@ -218,6 +230,21 @@ func runAlgo(exp, x string, xv float64, algo Algo, inst *data.Instance, cfg Conf
 		}
 	}
 	emit(row)
+}
+
+// nonzeroCounters snapshots rec's nonzero work counters; nil when the
+// run recorded nothing (e.g. an unknown algorithm short-circuited).
+func nonzeroCounters(rec *obs.Recorder) map[string]int64 {
+	var out map[string]int64
+	for _, c := range obs.Counters() {
+		if v := rec.Counter(c); v != 0 {
+			if out == nil {
+				out = make(map[string]int64, 8)
+			}
+			out[c.Name()] = v
+		}
+	}
+	return out
 }
 
 // feasibleCustomers samples m customers over the whole node set and

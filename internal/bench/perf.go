@@ -25,11 +25,18 @@ import (
 	"mcfs"
 	"mcfs/internal/bipartite"
 	"mcfs/internal/graph"
+	"mcfs/internal/obs"
 )
 
 // PerfSchema identifies the BENCH_*.json layout. Bump it only for
 // incompatible changes; ComparePerf refuses to diff across schemas.
-const PerfSchema = "mcfs-bench/1"
+// Version 2 added the optional per-benchmark work counters; v1 files
+// are still readable (the addition is forward-compatible) so the
+// committed baseline trajectory stays diffable.
+const PerfSchema = "mcfs-bench/2"
+
+// perfSchemaV1 is the pre-counter layout, accepted on read.
+const perfSchemaV1 = "mcfs-bench/1"
 
 // PerfConfig tunes a perf-suite run.
 type PerfConfig struct {
@@ -47,12 +54,16 @@ type PerfConfig struct {
 }
 
 // PerfBenchmark is one measured benchmark in a BENCH_*.json file.
+// Counters (schema v2+) come from a separate single probe run with an
+// obs recorder attached — never from the timed iterations, which run
+// recorder-free so ns/op keeps measuring the undisturbed hot path.
 type PerfBenchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"n"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string           `json:"name"`
+	Iterations  int              `json:"n"`
+	NsPerOp     float64          `json:"ns_per_op"`
+	BytesPerOp  int64            `json:"bytes_per_op"`
+	AllocsPerOp int64            `json:"allocs_per_op"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
 }
 
 // PerfFile is the schema-versioned payload of a BENCH_*.json file.
@@ -74,10 +85,14 @@ type PerfFile struct {
 // filenames.
 func PerfStamp() string { return time.Now().UTC().Format("20060102T150405Z") }
 
-// perfCase is one registered benchmark body.
+// perfCase is one registered benchmark body. probe, when set, runs the
+// operation once against a recorder-carrying context to collect the
+// work counters for the row; it is nil for operations with no
+// context-taking variant.
 type perfCase struct {
-	name string
-	fn   func(b *testing.B)
+	name  string
+	fn    func(b *testing.B)
+	probe func(ctx context.Context) error
 }
 
 // RunPerf executes the suite and returns the populated file. Progress
@@ -117,13 +132,21 @@ func RunPerf(cfg PerfConfig, logf func(format string, args ...any)) (*PerfFile, 
 		for _, c := range cases {
 			logf("bench: %s", c.name)
 			r := testing.Benchmark(c.fn)
-			out.Benchmarks = append(out.Benchmarks, PerfBenchmark{
+			pb := PerfBenchmark{
 				Name:        c.name,
 				Iterations:  r.N,
 				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 				BytesPerOp:  r.AllocedBytesPerOp(),
 				AllocsPerOp: r.AllocsPerOp(),
-			})
+			}
+			if c.probe != nil {
+				rec := obs.New()
+				if err := c.probe(obs.WithRecorder(context.Background(), rec)); err != nil {
+					return nil, fmt.Errorf("bench: counter probe for %s: %w", c.name, err)
+				}
+				pb.Counters = nonzeroCounters(rec)
+			}
+			out.Benchmarks = append(out.Benchmarks, pb)
 			logf("bench: %s\t%d\t%.0f ns/op\t%d B/op\t%d allocs/op",
 				c.name, r.N, out.Benchmarks[len(out.Benchmarks)-1].NsPerOp,
 				r.AllocedBytesPerOp(), r.AllocsPerOp())
@@ -172,19 +195,30 @@ func cityPerfCases(city string, cfg PerfConfig) ([]perfCase, error) {
 			for i := 0; i < b.N; i++ {
 				g.Dijkstra(inst.Customers[i%len(inst.Customers)])
 			}
+		}, func(ctx context.Context) error {
+			_, err := g.DijkstraCtx(ctx, inst.Customers[0])
+			return err
 		}},
 		{name("MultiSourceDijkstra"), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g.MultiSourceDijkstra(sources)
 			}
+		}, func(ctx context.Context) error {
+			_, _, err := g.MultiSourceDijkstraCtx(ctx, sources)
+			return err
 		}},
 		{name("DijkstraWithin"), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				g.DijkstraWithin(inst.Customers[i%len(inst.Customers)], radius)
 			}
+		}, func(ctx context.Context) error {
+			_, err := g.DijkstraWithinCtx(ctx, inst.Customers[0], radius)
+			return err
 		}},
+		// NNSearcher has no context-taking variant: its incremental pulls
+		// are driven by the caller, so there is no probe (and no counters).
 		{name("NNSearcher"), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -195,7 +229,7 @@ func cityPerfCases(city string, cfg PerfConfig) ([]perfCase, error) {
 					}
 				}
 			}
-		}},
+		}, nil},
 		{name("FindPair"), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -206,6 +240,18 @@ func cityPerfCases(city string, cfg PerfConfig) ([]perfCase, error) {
 					}
 				}
 			}
+		}, func(ctx context.Context) error {
+			mt := bipartite.New(g, inst.Customers, inst.Facilities)
+			for cust := range inst.Customers {
+				ok, err := mt.FindPairCtx(ctx, cust)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return fmt.Errorf("FindPair(%d) found no augmenting path", cust)
+				}
+			}
+			return nil
 		}},
 		{name("WMA"), func(b *testing.B) {
 			b.ReportAllocs()
@@ -214,6 +260,9 @@ func cityPerfCases(city string, cfg PerfConfig) ([]perfCase, error) {
 					b.Fatalf("WMA solve: %v", err)
 				}
 			}
+		}, func(ctx context.Context) error {
+			_, _, err := mcfs.AlgorithmWMA.Solve(ctx, inst, mcfs.WithSeed(cfg.Seed))
+			return err
 		}},
 	}
 	return cases, nil
@@ -238,8 +287,9 @@ func ReadPerfFile(path string) (*PerfFile, error) {
 	if err := json.Unmarshal(buf, &f); err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", path, err)
 	}
-	if f.Schema != PerfSchema {
-		return nil, fmt.Errorf("bench: %s: schema %q, want %q", path, f.Schema, PerfSchema)
+	if f.Schema != PerfSchema && f.Schema != perfSchemaV1 {
+		return nil, fmt.Errorf("bench: %s: schema %q, want %q (or the older %q)",
+			path, f.Schema, PerfSchema, perfSchemaV1)
 	}
 	return &f, nil
 }

@@ -7,19 +7,36 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"mcfs/internal/obs"
 )
 
-// WriteCSV emits rows in a flat machine-readable form.
+// WriteCSV emits rows in a flat machine-readable form. Beyond the
+// original seven columns, every obs work counter gets a column (in enum
+// order): algorithm rows report the recorded value (zero included,
+// machine-independent), stat-only rows leave the cells empty.
 func WriteCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
-	if err := cw.Write([]string{"exp", "x", "xval", "algo", "objective", "runtime_ns", "note"}); err != nil {
+	header := []string{"exp", "x", "xval", "algo", "objective", "runtime_ns", "note"}
+	counters := obs.Counters()
+	for _, c := range counters {
+		header = append(header, c.Name())
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		rec := []string{
 			r.Exp, r.X, strconv.FormatFloat(r.XVal, 'g', -1, 64), string(r.Algo),
 			strconv.FormatInt(r.Objective, 10), strconv.FormatInt(int64(r.Runtime), 10), r.Note,
+		}
+		for _, c := range counters {
+			if r.Algo == "" {
+				rec = append(rec, "")
+				continue
+			}
+			rec = append(rec, strconv.FormatInt(r.Counters[c.Name()], 10))
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

@@ -10,7 +10,8 @@ import (
 
 func sampleRows() []Row {
 	return []Row{
-		{Exp: "F6a", X: "n", XVal: 1000, Algo: AlgoWMA, Objective: 123, Runtime: time.Millisecond},
+		{Exp: "F6a", X: "n", XVal: 1000, Algo: AlgoWMA, Objective: 123, Runtime: time.Millisecond,
+			Counters: map[string]int64{"dijkstra_heap_pops": 42, "wma_iterations": 3}},
 		{Exp: "F6a", X: "n", XVal: 1000, Algo: AlgoExact, Objective: 120, Runtime: 10 * time.Second, Note: "timeout"},
 		{Exp: "F6a", X: "n", XVal: 2000, Algo: AlgoWMA, Objective: 456, Runtime: 2 * time.Millisecond},
 		{Exp: "T3", X: "aalborg", XVal: 0, Note: "nodes=100 edges=120"},
@@ -34,6 +35,26 @@ func TestWriteCSVRoundTrips(t *testing.T) {
 	}
 	if records[2][6] != "timeout" {
 		t.Fatalf("note column lost: %v", records[2])
+	}
+
+	// Work-counter columns: one per obs counter after the fixed seven,
+	// populated for algorithm rows (zeros included), blank on stat rows.
+	col := map[string]int{}
+	for i, name := range records[0] {
+		col[name] = i
+	}
+	pops, ok := col["dijkstra_heap_pops"]
+	if !ok || pops < 7 {
+		t.Fatalf("counter columns missing from header: %v", records[0])
+	}
+	if records[1][pops] != "42" || records[1][col["wma_iterations"]] != "3" {
+		t.Fatalf("counter values lost: %v", records[1])
+	}
+	if records[2][pops] != "0" {
+		t.Fatalf("algo row without counters must report 0, got %q", records[2][pops])
+	}
+	if records[4][pops] != "" {
+		t.Fatalf("stat-only row must leave counter cells empty, got %q", records[4][pops])
 	}
 }
 

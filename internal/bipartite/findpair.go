@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"mcfs/internal/graph"
+	"mcfs/internal/obs"
 )
 
 // FindPair implements Algorithm 2 of the paper: it matches customer i to
@@ -34,6 +35,19 @@ func (mt *Matcher) FindPairCtx(ctx context.Context, i int) (matched bool, err er
 		ctx = context.Background()
 	}
 	mt.ctx = ctx
+	if rec := obs.From(ctx); rec != nil {
+		// Flush the matcher-stat deltas this call produces into the
+		// recorder on every exit path. The hot loops keep incrementing
+		// the plain mt.stats ints exactly as before; recording is a
+		// per-call snapshot diff, not a per-event atomic.
+		prev := mt.stats
+		defer func() {
+			rec.Add(obs.SSPASearches, int64(mt.stats.DijkstraRuns-prev.DijkstraRuns))
+			rec.Add(obs.SSPANodesScanned, int64(mt.stats.NodesScanned-prev.NodesScanned))
+			rec.Add(obs.SSPAEdgesMaterialized, int64(mt.stats.EdgesMaterialized-prev.EdgesMaterialized))
+			rec.Add(obs.SSPAAugmentingPaths, int64(mt.stats.Augmentations-prev.Augmentations))
+		}()
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return false, err

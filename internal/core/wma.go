@@ -26,6 +26,7 @@ import (
 
 	"mcfs/internal/bipartite"
 	"mcfs/internal/data"
+	"mcfs/internal/obs"
 )
 
 // DemandPolicy controls which customers get a demand increase per
@@ -100,6 +101,9 @@ func SolveCtx(ctx context.Context, inst *data.Instance, opt Options) (*data.Solu
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if p := obs.From(ctx).Phase("wma/solve"); p != nil {
+		defer p.End()
+	}
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
@@ -153,6 +157,7 @@ func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, erro
 		maxIter = m*l + l + 2
 	}
 
+	rec := obs.From(ctx)
 	var selection []int
 	var covered bool
 	for iter := 1; ; iter++ {
@@ -162,8 +167,11 @@ func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, erro
 		if iter > maxIter {
 			return nil, fmt.Errorf("%w (%d iterations)", ErrIterationLimit, maxIter)
 		}
+		iterPhase := rec.Phase("wma/iterate")
+		rec.Add(obs.WMAIterations, 1)
 		//lint:ignore determinism IterationStats timing for the Progress callback; never feeds back into the algorithm
 		matchStart := time.Now()
+		matchPhase := rec.Phase("wma/match")
 		for i := 0; i < m; i++ {
 			for !exhausted[i] && mt.MatchCount(i) < demand[i] {
 				ok, err := mt.FindPairCtx(ctx, i)
@@ -175,12 +183,15 @@ func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, erro
 				}
 			}
 		}
+		matchPhase.End()
 		matchTime := time.Since(matchStart)
 
 		//lint:ignore determinism IterationStats timing for the Progress callback; never feeds back into the algorithm
 		coverStart := time.Now()
+		coverPhase := rec.Phase("wma/cover")
 		var deltaD []bool
 		selection, deltaD, covered = CheckCover(mt, k, lastUsed, opt.TieBreak)
+		coverPhase.End()
 		coverTime := time.Since(coverStart)
 		for _, j := range selection {
 			lastUsed[j] = iter
@@ -217,6 +228,7 @@ func explore(ctx context.Context, inst *data.Instance, opt Options) ([]int, erro
 				DemandTotal: total,
 			})
 		}
+		iterPhase.End()
 		if covered || !progress {
 			break
 		}
@@ -253,6 +265,9 @@ func AssignToSelection(inst *data.Instance, selected []int, opt Options) (*data.
 // cancellation, checked per augmenting path; on cancellation it returns
 // nil and ctx.Err().
 func AssignToSelectionCtx(ctx context.Context, inst *data.Instance, selected []int, opt Options) (*data.Solution, error) {
+	if p := obs.From(ctx).Phase("wma/assign"); p != nil {
+		defer p.End()
+	}
 	m := inst.M()
 	subset := make([]data.Facility, len(selected))
 	for idx, j := range selected {

@@ -26,6 +26,7 @@ import (
 	"mcfs/internal/core"
 	"mcfs/internal/data"
 	"mcfs/internal/graph"
+	"mcfs/internal/obs"
 )
 
 // ErrUnknownHandle is returned by RemoveCustomer for a handle that is
@@ -179,6 +180,7 @@ func (r *Reallocator) SetContext(ctx context.Context) {
 
 // fullSolve re-selects facilities with WMA and rebuilds the matching.
 func (r *Reallocator) fullSolve() error {
+	r.rec().Add(obs.ReallocFullSolves, 1)
 	inst := r.instance()
 	sol, err := core.SolveCtx(r.ctx, inst, r.opt.Core)
 	if err != nil {
@@ -237,9 +239,17 @@ func (r *Reallocator) adopt(selected []int) error {
 	return nil
 }
 
+// rec returns the recorder bound to the Reallocator's current context
+// (nil when none). Looked up per operation so SetContext rebinds
+// observability along with cancellation.
+func (r *Reallocator) rec() *obs.Recorder { return obs.From(r.ctx) }
+
 // rebuild reconstructs the optimal assignment of the live customers to
 // the open facilities.
 func (r *Reallocator) rebuild() error {
+	if p := r.rec().Phase("repair"); p != nil {
+		defer p.End()
+	}
 	subset := make([]data.Facility, len(r.selected))
 	for i, j := range r.selected {
 		subset[i] = r.facilities[j]
@@ -263,6 +273,9 @@ func (r *Reallocator) rebuild() error {
 	r.handleOf = append(r.handleOf[:0], r.order...)
 	r.pendingRm = false
 	r.stats.Rebuilds++
+	rec := r.rec()
+	rec.Add(obs.ReallocRepairs, 1)
+	rec.Add(obs.ReallocReroutedCustomers, int64(len(custs)))
 	return nil
 }
 

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"context"
+
+	"mcfs/internal/obs"
 )
 
 // checkEvery is the number of heap pops a graph search performs between
@@ -31,7 +33,10 @@ func (g *Graph) DijkstraCtx(ctx context.Context, src int32) ([]int64, error) {
 	dist[src] = 0
 	h := g.newDenseQueue()
 	h.Push(src, 0)
-	pops := 0
+	pops, relax := 0, 0
+	if rec := obs.From(ctx); rec != nil {
+		defer func() { flushSearchCounters(rec, h, int64(pops), int64(relax)) }()
+	}
 	for h.Len() > 0 {
 		if pops++; pops&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -46,6 +51,7 @@ func (g *Graph) DijkstraCtx(ctx context.Context, src int32) ([]int64, error) {
 			u, nd := g.dst[i], d+g.w[i]
 			if nd < dist[u] {
 				dist[u] = nd
+				relax++
 				h.DecreaseKey(u, nd)
 			}
 		}
@@ -69,7 +75,10 @@ func (g *Graph) DijkstraWithinCtx(ctx context.Context, src int32, radius int64) 
 	dist := map[int32]int64{src: 0}
 	h := g.newSparseQueue()
 	h.Push(src, 0)
-	pops := 0
+	pops, relax := 0, 0
+	if rec := obs.From(ctx); rec != nil {
+		defer func() { flushSearchCounters(rec, h, int64(pops), int64(relax)) }()
+	}
 	for h.Len() > 0 {
 		if pops++; pops&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -87,6 +96,7 @@ func (g *Graph) DijkstraWithinCtx(ctx context.Context, src int32, radius int64) 
 			}
 			if old, ok := dist[u]; !ok || nd < old {
 				dist[u] = nd
+				relax++
 				h.DecreaseKey(u, nd)
 			}
 		}
@@ -115,7 +125,10 @@ func (g *Graph) DijkstraToTargetsCtx(ctx context.Context, src int32, targets []i
 	dist := map[int32]int64{src: 0}
 	h := g.newSparseQueue()
 	h.Push(src, 0)
-	pops := 0
+	pops, relax := 0, 0
+	if rec := obs.From(ctx); rec != nil {
+		defer func() { flushSearchCounters(rec, h, int64(pops), int64(relax)) }()
+	}
 	for h.Len() > 0 && remaining > 0 {
 		if pops++; pops&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -136,6 +149,7 @@ func (g *Graph) DijkstraToTargetsCtx(ctx context.Context, src int32, targets []i
 			u, nd := g.dst[i], d+g.w[i]
 			if old, ok := dist[u]; !ok || nd < old {
 				dist[u] = nd
+				relax++
 				h.DecreaseKey(u, nd)
 			}
 		}
@@ -178,7 +192,10 @@ func (g *Graph) MultiSourceDijkstraCtx(ctx context.Context, sources []int32) (di
 		owner[s] = int32(idx)
 		h.Push(s, 0)
 	}
-	pops := 0
+	pops, relax := 0, 0
+	if rec := obs.From(ctx); rec != nil {
+		defer func() { flushSearchCounters(rec, h, int64(pops), int64(relax)) }()
+	}
 	for h.Len() > 0 {
 		if pops++; pops&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -194,6 +211,7 @@ func (g *Graph) MultiSourceDijkstraCtx(ctx context.Context, sources []int32) (di
 			if nd < dist[u] {
 				dist[u] = nd
 				owner[u] = owner[v]
+				relax++
 				h.DecreaseKey(u, nd)
 			}
 		}

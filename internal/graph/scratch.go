@@ -3,6 +3,7 @@ package graph
 import (
 	"context"
 
+	"mcfs/internal/obs"
 	"mcfs/internal/pq"
 )
 
@@ -96,7 +97,10 @@ func (g *Graph) DijkstraWithinScratchCtx(ctx context.Context, src int32, radius 
 	sc.visited = append(sc.visited, src)
 	h := sc.frontier
 	h.Push(src, 0)
-	pops := 0
+	pops, relax := 0, 0
+	if rec := obs.From(ctx); rec != nil {
+		defer func() { flushSearchCounters(rec, h, int64(pops), int64(relax)) }()
+	}
 	for h.Len() > 0 {
 		if pops++; pops&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -116,9 +120,11 @@ func (g *Graph) DijkstraWithinScratchCtx(ctx context.Context, src int32, radius 
 				sc.stamp[u] = sc.epoch
 				sc.dist[u] = nd
 				sc.visited = append(sc.visited, u)
+				relax++
 				h.Push(u, nd)
 			} else if nd < sc.dist[u] {
 				sc.dist[u] = nd
+				relax++
 				h.DecreaseKey(u, nd)
 			}
 		}
@@ -144,7 +150,10 @@ func (g *Graph) DijkstraToTargetsScratchCtx(ctx context.Context, src int32, targ
 	sc.visited = append(sc.visited, src)
 	h := sc.frontier
 	h.Push(src, 0)
-	pops := 0
+	pops, relax := 0, 0
+	if rec := obs.From(ctx); rec != nil {
+		defer func() { flushSearchCounters(rec, h, int64(pops), int64(relax)) }()
+	}
 	for h.Len() > 0 && remaining > 0 {
 		if pops++; pops&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -165,9 +174,11 @@ func (g *Graph) DijkstraToTargetsScratchCtx(ctx context.Context, src int32, targ
 				sc.stamp[u] = sc.epoch
 				sc.dist[u] = nd
 				sc.visited = append(sc.visited, u)
+				relax++
 				h.Push(u, nd)
 			} else if nd < sc.dist[u] {
 				sc.dist[u] = nd
+				relax++
 				h.DecreaseKey(u, nd)
 			}
 		}

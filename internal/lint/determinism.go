@@ -44,6 +44,18 @@ var globalRandFuncs = map[string]bool{
 	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
 }
 
+// timeNowExempt lists the packages allowed to call time.Now: layers
+// whose *output* is wall-clock measurement. internal/bench measures
+// runtimes; internal/obs records elapsed phase time (observability is
+// strictly passive — the traced-vs-untraced byte-identity tests in
+// internal/bench pin that the readings never feed back into solver
+// output). Solver packages that want timings route them through these
+// layers instead of earning an entry here.
+var timeNowExempt = map[string]bool{
+	"internal/bench": true,
+	"internal/obs":   true,
+}
+
 // orderSensitiveCalls are callee names that make a map-iteration body
 // order-sensitive: growing a slice or emitting output.
 var orderSensitiveCalls = map[string]bool{
@@ -58,7 +70,7 @@ func (Determinism) Check(pkg *Package, report ReportFunc) {
 	if pkg.Dir != "." && !strings.HasPrefix(pkg.Dir, "internal/") {
 		return
 	}
-	banTimeNow := pkg.Dir != "internal/bench"
+	banTimeNow := !timeNowExempt[pkg.Dir]
 	idx := indexPackageMaps(pkg)
 	for _, f := range pkg.Files {
 		if f.Test {
@@ -69,7 +81,7 @@ func (Determinism) Check(pkg *Package, report ReportFunc) {
 			case *ast.SelectorExpr:
 				if banTimeNow && isTimeNow(pkg, n) {
 					report(f, n.Pos(),
-						"time.Now is nondeterministic solver input; take timings in the bench layer (internal/bench is exempt) or annotate the instrumentation")
+						"time.Now is nondeterministic solver input; route timings through an exempt measurement layer (internal/bench, internal/obs) or annotate the instrumentation")
 				}
 			case *ast.CallExpr:
 				if name, ok := globalRandCall(pkg, n); ok {

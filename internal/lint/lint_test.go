@@ -182,6 +182,23 @@ func TestDeterminismBenchExemption(t *testing.T) {
 	}
 }
 
+func TestDeterminismObsExemption(t *testing.T) {
+	pkg := loadFixture(t, "determinismobs", "internal/obs")
+	if got := Run([]*Package{pkg}, []Rule{Determinism{}}); len(got) != 0 {
+		t.Errorf("time.Now flagged in internal/obs, which is allowlisted: %v", got)
+	}
+}
+
+func TestDeterminismObsScopeOnly(t *testing.T) {
+	// The same fixture relabeled as a solver package must be flagged:
+	// the exemption is the package allowlist, not the file contents.
+	pkg := loadFixture(t, "determinismobs", "internal/core")
+	got := Run([]*Package{pkg}, []Rule{Determinism{}})
+	if len(got) != 1 || !strings.Contains(got[0].Message, "time.Now") {
+		t.Errorf("expected exactly one time.Now finding outside the allowlist, got %v", got)
+	}
+}
+
 func TestCloseCheckRule(t *testing.T) {
 	pkg := loadFixture(t, "closecheck", "cmd/fixture")
 	checkFixture(t, pkg, []Rule{CloseCheck{}})

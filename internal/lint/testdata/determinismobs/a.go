@@ -1,0 +1,9 @@
+// Package fixture exercises the determinism rule's observability
+// exemption (checked as if it lived in internal/obs, whose product —
+// phase-span wall time — requires the clock). The same file loaded as a
+// solver package must be flagged (TestDeterminismObsScopeOnly).
+package fixture
+
+import "time"
+
+func spanStart() time.Time { return time.Now() }

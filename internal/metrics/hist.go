@@ -85,6 +85,40 @@ func (h *Histogram) Merge(o *Histogram) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 
+// Sum returns the total of all observed durations in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Bucket is one step of a cumulative histogram export: Cumulative
+// observations were at most UpperNS nanoseconds. The shape matches
+// Prometheus's cumulative `le` buckets, which is what the /metrics
+// exposition renders from it.
+type Bucket struct {
+	UpperNS    int64 // inclusive upper bound of the bucket, in ns
+	Cumulative int64 // observations at or below UpperNS
+}
+
+// Buckets exports the histogram as cumulative (upper bound, count)
+// pairs in increasing bound order. Empty leading/trailing ranges are
+// skipped, but every bucket that changes the cumulative count appears,
+// so the export reconstructs the exact per-bucket counts. The final
+// bucket (when any observations exist) carries the full Count, with the
+// last range's clamp semantics: its bound covers everything recorded.
+func (h *Histogram) Buckets() []Bucket {
+	if h.count == 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, 16)
+	var cum int64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, Bucket{UpperNS: lowerBound(i+1) - 1, Cumulative: cum})
+	}
+	return out
+}
+
 // Mean returns the average observed duration (0 when empty).
 func (h *Histogram) Mean() time.Duration {
 	if h.count == 0 {

@@ -108,6 +108,95 @@ func TestHistogramClampAndEmpty(t *testing.T) {
 	}
 }
 
+// Property test over random observation sets: the cumulative Buckets
+// export must be internally consistent (strictly increasing bounds,
+// nondecreasing cumulative counts ending at Count, bounds that
+// round-trip through bucketOf) and every observation must be accounted
+// for at or below a bound that bucketOf agrees with.
+func TestHistogramBucketsExportProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix exact-range tiny values, latency-shaped values, and
+			// occasional clamp-range monsters.
+			var ns int64
+			switch rng.Intn(10) {
+			case 0:
+				ns = int64(rng.Intn(histSub))
+			case 1:
+				ns = int64(rng.Int63())
+			default:
+				ns = rng.Int63n(int64(time.Second))
+			}
+			h.Observe(time.Duration(ns))
+		}
+		bs := h.Buckets()
+		if len(bs) == 0 {
+			t.Fatalf("trial %d: non-empty histogram exported no buckets", trial)
+		}
+		var prevBound, prevCum int64 = -1, 0
+		for _, b := range bs {
+			if b.UpperNS <= prevBound {
+				t.Fatalf("trial %d: bounds not increasing: %d after %d", trial, b.UpperNS, prevBound)
+			}
+			if b.Cumulative <= prevCum {
+				t.Fatalf("trial %d: cumulative not increasing: %d after %d", trial, b.Cumulative, prevCum)
+			}
+			// An inclusive upper bound is the last value of its bucket:
+			// the next nanosecond starts the next one.
+			if got, want := bucketOf(b.UpperNS), bucketOf(b.UpperNS+1)-1; b.UpperNS+1 < lowerBound(histBuckets-1) && got != want {
+				t.Fatalf("trial %d: bound %d not at a bucket edge (bucketOf %d vs %d+1)", trial, b.UpperNS, got, want)
+			}
+			prevBound, prevCum = b.UpperNS, b.Cumulative
+		}
+		if prevCum != h.Count() {
+			t.Fatalf("trial %d: final cumulative %d != count %d", trial, prevCum, h.Count())
+		}
+	}
+	var empty Histogram
+	if got := empty.Buckets(); got != nil {
+		t.Fatalf("empty histogram exported %v", got)
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	var h Histogram
+	var want int64
+	for _, d := range []time.Duration{time.Microsecond, 3 * time.Millisecond, 0, 17} {
+		h.Observe(d)
+		want += int64(d)
+	}
+	if h.Sum() != want {
+		t.Fatalf("sum = %d, want %d", h.Sum(), want)
+	}
+}
+
+// Property test: bucketOf/lowerBound round-trip on every bucket start
+// (the exact contract /metrics rendering relies on) and Quantile never
+// exceeds Max for arbitrary observation mixes and quantiles.
+func TestHistogramQuantileMaxProperty(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketOf(lowerBound(i)); got != i {
+			t.Fatalf("bucketOf(lowerBound(%d)) = %d", i, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(time.Duration(rng.Int63n(int64(10 * time.Second))))
+		}
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1, rng.Float64()} {
+			if got := h.Quantile(q); got > h.Max() {
+				t.Fatalf("trial %d: q%.3f = %v exceeds max %v", trial, q, got, h.Max())
+			}
+		}
+	}
+}
+
 // A high quantile's bucket upper bound must never read above the exact
 // tracked maximum (p99 > max in a latency report is nonsense).
 func TestHistogramQuantileNotAboveMax(t *testing.T) {

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// spanLine is the JSONL record for one span: the flattened (pre-order)
+// form of the tree, with nesting recovered from the depth field.
+// encoding/json sorts map keys, so for a deterministic run every field
+// except elapsed_ns is byte-stable.
+type spanLine struct {
+	Depth    int              `json:"depth"`
+	Name     string           `json:"name"`
+	Elapsed  int64            `json:"elapsed_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// WriteSpansJSONL writes the span tree as one JSON object per line in
+// pre-order (parents before children, siblings in open order).
+func WriteSpansJSONL(w io.Writer, spans []*Span) error {
+	enc := json.NewEncoder(w)
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		if err := enc.Encode(spanLine{
+			Depth:    depth,
+			Name:     s.Name,
+			Elapsed:  int64(s.Elapsed),
+			Counters: s.Counters,
+		}); err != nil {
+			return err
+		}
+		for _, c := range s.Children {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range spans {
+		if err := walk(s, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Add(DijkstraHeapPops, 5)
+	if got := r.Counter(DijkstraHeapPops); got != 0 {
+		t.Fatalf("nil recorder counter = %d, want 0", got)
+	}
+	p := r.Phase("solve")
+	p.End()
+	p.End() // double-End must be a no-op too
+	if spans := r.Spans(); spans != nil {
+		t.Fatalf("nil recorder spans = %v, want nil", spans)
+	}
+	snap := r.Snapshot()
+	if len(snap) != int(numCounters) {
+		t.Fatalf("nil recorder snapshot has %d entries, want %d", len(snap), numCounters)
+	}
+	for name, v := range snap {
+		if v != 0 {
+			t.Fatalf("nil recorder snapshot[%s] = %d, want 0", name, v)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "mcfs"); err != nil {
+		t.Fatalf("nil recorder WritePrometheus: %v", err)
+	}
+	if !strings.Contains(buf.String(), "mcfs_dijkstra_heap_pops_total 0") {
+		t.Fatalf("nil recorder exposition missing zero counter:\n%s", buf.String())
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("From(Background) should be nil")
+	}
+	if From(nil) != nil {
+		t.Fatal("From(nil) should be nil")
+	}
+	r := New()
+	ctx := WithRecorder(context.Background(), r)
+	if From(ctx) != r {
+		t.Fatal("From did not return the attached recorder")
+	}
+	// Attaching nil leaves the context unchanged.
+	ctx2 := WithRecorder(ctx, nil)
+	if ctx2 != ctx {
+		t.Fatal("WithRecorder(ctx, nil) should return ctx unchanged")
+	}
+}
+
+func TestCounterNamesUnique(t *testing.T) {
+	seen := map[string]Counter{}
+	for _, c := range Counters() {
+		name := c.Name()
+		if name == "" {
+			t.Fatalf("counter %d has empty name", c)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("counters %d and %d share name %q", prev, c, name)
+		}
+		seen[name] = c
+		if c.Help() == "" {
+			t.Fatalf("counter %s has empty help", name)
+		}
+	}
+	if Counter(-1).Name() == "" || Counter(10_000).Name() == "" {
+		t.Fatal("out-of-range counters should still render a name")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(SSPAAugmentingPaths, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(SSPAAugmentingPaths); got != 8000 {
+		t.Fatalf("concurrent adds = %d, want 8000", got)
+	}
+}
+
+func TestSpanTreeNestingAndDeltas(t *testing.T) {
+	r := New()
+	solve := r.Phase("solve")
+	r.Add(WMAIterations, 1)
+	match := r.Phase("match")
+	r.Add(SSPAAugmentingPaths, 3)
+	match.End()
+	r.Add(WMAIterations, 1)
+	solve.End()
+
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d roots, want 1", len(spans))
+	}
+	root := spans[0]
+	if root.Name != "solve" {
+		t.Fatalf("root name = %q", root.Name)
+	}
+	if root.Counters["wma_iterations"] != 2 {
+		t.Fatalf("root wma_iterations = %d, want 2", root.Counters["wma_iterations"])
+	}
+	// The parent aggregates the child's counters.
+	if root.Counters["sspa_augmenting_paths"] != 3 {
+		t.Fatalf("root sspa_augmenting_paths = %d, want 3", root.Counters["sspa_augmenting_paths"])
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "match" {
+		t.Fatalf("children = %+v, want one 'match'", root.Children)
+	}
+	child := root.Children[0]
+	if child.Counters["sspa_augmenting_paths"] != 3 {
+		t.Fatalf("child sspa_augmenting_paths = %d, want 3", child.Counters["sspa_augmenting_paths"])
+	}
+	if _, hasIter := child.Counters["wma_iterations"]; hasIter {
+		t.Fatalf("child should not see counters recorded outside it: %v", child.Counters)
+	}
+	if root.Elapsed < child.Elapsed {
+		t.Fatalf("root elapsed %v < child elapsed %v", root.Elapsed, child.Elapsed)
+	}
+}
+
+func TestEndClosesAbandonedInnerPhases(t *testing.T) {
+	r := New()
+	outer := r.Phase("outer")
+	r.Phase("inner") // abandoned (early return path)
+	outer.End()
+	// A new phase after the unwind is a fresh root, not a child of
+	// the abandoned inner span.
+	next := r.Phase("next")
+	next.End()
+	spans := r.Spans()
+	if len(spans) != 2 || spans[0].Name != "outer" || spans[1].Name != "next" {
+		t.Fatalf("unexpected roots: %+v", spans)
+	}
+	if len(spans[0].Children) != 1 || spans[0].Children[0].Name != "inner" {
+		t.Fatalf("outer children: %+v", spans[0].Children)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	r := New()
+	for i := 0; i < maxSpans+10; i++ {
+		p := r.Phase("p")
+		p.End()
+	}
+	if got := len(r.Spans()); got != maxSpans {
+		t.Fatalf("span count = %d, want cap %d", got, maxSpans)
+	}
+	// Counters keep working past the cap.
+	r.Add(BnBNodesExpanded, 1)
+	if r.Counter(BnBNodesExpanded) != 1 {
+		t.Fatal("counters must survive span-cap overflow")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Add(DijkstraHeapPops, 42)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "mcfs"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := []string{
+		"# HELP mcfs_dijkstra_heap_pops_total ",
+		"# TYPE mcfs_dijkstra_heap_pops_total counter",
+		"mcfs_dijkstra_heap_pops_total 42",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Fatalf("exposition missing %q:\n%s", w, out)
+		}
+	}
+	// Every line is a comment or "name value" — the shape the ci.sh
+	// awk check enforces on the live endpoint.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+func TestWriteSpansJSONLDeterministic(t *testing.T) {
+	mk := func() *Recorder {
+		r := New()
+		solve := r.Phase("solve")
+		it := r.Phase("iterate")
+		r.Add(WMAIterations, 1)
+		m := r.Phase("match")
+		r.Add(SSPAAugmentingPaths, 2)
+		m.End()
+		it.End()
+		solve.End()
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := WriteSpansJSONL(&a, mk().Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpansJSONL(&b, mk().Spans()); err != nil {
+		t.Fatal(err)
+	}
+	norm := func(s string) string {
+		// elapsed_ns is the only nondeterministic field; strip it.
+		var out []string
+		for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+			i := strings.Index(line, `"elapsed_ns"`)
+			j := strings.Index(line[i:], ",")
+			out = append(out, line[:i]+line[i+j:])
+		}
+		return strings.Join(out, "\n")
+	}
+	if norm(a.String()) != norm(b.String()) {
+		t.Fatalf("span JSONL not structurally deterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3:\n%s", len(lines), a.String())
+	}
+	if !strings.Contains(lines[0], `"depth":0`) || !strings.Contains(lines[2], `"depth":2`) {
+		t.Fatalf("depth fields wrong:\n%s", a.String())
+	}
+	if !strings.Contains(lines[2], `"sspa_augmenting_paths":2`) {
+		t.Fatalf("leaf counters missing:\n%s", a.String())
+	}
+}
+
+func BenchmarkRecorderAdd(b *testing.B) {
+	r := New()
+	for i := 0; i < b.N; i++ {
+		r.Add(DijkstraHeapPops, 1)
+	}
+}
+
+func BenchmarkNilRecorderAdd(b *testing.B) {
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		r.Add(DijkstraHeapPops, 1)
+	}
+}
+
+func BenchmarkFrom(b *testing.B) {
+	ctx := WithRecorder(context.Background(), New())
+	for i := 0; i < b.N; i++ {
+		if From(ctx) == nil {
+			b.Fatal("lost recorder")
+		}
+	}
+}

@@ -80,6 +80,8 @@ type BucketQueue struct {
 	cur      int64 // wheel index holding the current minimum candidates
 	base     int64 // key floor: no live entry has a smaller key
 	size     int
+
+	overflows int64 // pushes that landed in overflow since Reset
 }
 
 // NewBucket returns a bucket queue whose wheel spans keys
@@ -135,6 +137,7 @@ func (q *BucketQueue) Push(id int32, key int64) {
 			q.minOver = key
 		}
 		q.overflow = append(q.overflow, bentry{id, key})
+		q.overflows++
 		q.size++
 		return
 	}
@@ -223,7 +226,14 @@ func (q *BucketQueue) Reset() {
 	q.next = q.next[:0]
 	q.overflow = q.overflow[:0]
 	q.cur, q.base, q.size = 0, 0, 0
+	q.overflows = 0
 }
+
+// Overflows reports how many pushes landed in the overflow list since
+// the last Reset — the observability signal that the wheel span (the
+// graph's max edge weight estimate) is undersized for the key range the
+// search actually produced.
+func (q *BucketQueue) Overflows() int64 { return q.overflows }
 
 // Span returns the wheel span the queue was built with (bucket count
 // minus one).

@@ -22,7 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -31,6 +34,7 @@ import (
 	"mcfs"
 	"mcfs/internal/dynamic"
 	"mcfs/internal/metrics"
+	"mcfs/internal/obs"
 )
 
 // Config assembles a Server.
@@ -50,6 +54,10 @@ type Config struct {
 	// Snapshot, when non-nil, restores the dynamic state from a capture
 	// instead of performing a fresh full solve.
 	Snapshot *mcfs.ReallocatorSnapshot
+	// Logger, when non-nil, receives one structured line per request
+	// (request id, method, path, status, bytes, duration). Nil disables
+	// request logging.
+	Logger *slog.Logger
 }
 
 // errShutdown is returned to requests that arrive while the server is
@@ -62,6 +70,11 @@ type view struct {
 	pub   *mcfs.PublishedAssignment
 	base  int64
 	stats mcfs.ReallocatorStats
+	// queueDepth is the number of operations still waiting in the writer
+	// queue at the moment this view was published — the backlog signal
+	// /stats and /metrics report (reads stay lock-free; sampling at
+	// publish time is the single-writer-consistent point to take it).
+	queueDepth int
 }
 
 // endpointNames fixes the catalogue (and report order) of instrumented
@@ -81,6 +94,14 @@ type Server struct {
 
 	batches    atomic.Int64 // repair windows run
 	batchedOps atomic.Int64 // operations processed inside them
+
+	// rec accumulates the process-lifetime solver work counters: every
+	// operation context is wrapped with it before reaching the
+	// Reallocator, so the searches underneath report here (/metrics,
+	// expvar in cmd/mcfsd).
+	rec *obs.Recorder
+
+	reqID atomic.Int64 // per-request id sequence for the request log
 
 	mu    sync.Mutex
 	lat   map[string]*metrics.Histogram
@@ -124,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		ops:  make(chan op, 4*cfg.MaxBatch),
 		quit: make(chan struct{}),
 		lat:  make(map[string]*metrics.Histogram, len(endpointNames)),
+		rec:  obs.New(),
 	}
 	//lint:ignore determinism serving uptime is operational telemetry, never solver input
 	s.start = time.Now()
@@ -165,15 +187,19 @@ func (s *Server) View() *mcfs.PublishedAssignment { return s.view.Load().pub }
 // Objective returns the published objective.
 func (s *Server) Objective() int64 { return s.View().Objective }
 
+// Recorder exposes the server's work-counter recorder (for expvar
+// publication in cmd/mcfsd). Counters only; never nil.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
 // publish materializes the Reallocator's state and swaps it in. Runs on
 // the writer goroutine (and once during New, before the loop starts).
 func (s *Server) publish() error {
-	s.r.SetContext(context.Background())
+	s.r.SetContext(obs.WithRecorder(context.Background(), s.rec))
 	pub, err := s.r.Publish()
 	if err != nil {
 		return err
 	}
-	s.view.Store(&view{pub: pub, base: s.r.BaseObjective(), stats: s.r.Stats()})
+	s.view.Store(&view{pub: pub, base: s.r.BaseObjective(), stats: s.r.Stats(), queueDepth: len(s.ops)})
 	return nil
 }
 
@@ -236,6 +262,10 @@ func (s *Server) loop() {
 func (s *Server) process(batch []op) {
 	results := make([]opResult, len(batch))
 	for i, o := range batch {
+		// Bind the request context (deadline/cancellation) and the
+		// server-lifetime recorder together: the solver work each
+		// operation triggers lands in the process counters.
+		o.ctx = obs.WithRecorder(o.ctx, s.rec)
 		s.r.SetContext(o.ctx)
 		results[i] = s.apply(o)
 	}
@@ -386,7 +416,56 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Handler returns the endpoint mux.
+// statusWriter captures the response status and size for the request
+// log without altering the response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += n
+	return n, err
+}
+
+// logRequests wraps the mux with one structured slog line per request,
+// tagged with a monotonically increasing request id that is also echoed
+// back as the X-Request-Id response header.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		w.Header().Set("X-Request-Id", strconv.FormatInt(id, 10))
+		sw := &statusWriter{ResponseWriter: w}
+		//lint:ignore determinism request latency is operational telemetry, never solver input
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.Int64("id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int("bytes", sw.bytes),
+			slog.Duration("duration", time.Since(start)),
+		)
+	})
+}
+
+// Handler returns the endpoint mux (wrapped with request logging when
+// Config.Logger is set).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /assign", s.instrument("assign", s.handleAssign))
@@ -396,6 +475,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /snapshot", s.instrument("snapshot", s.handleSnapshot))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.Logger != nil {
+		return s.logRequests(mux)
+	}
 	return mux
 }
 
@@ -534,9 +617,69 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	_ = res.snapshot.Write(w)
 }
 
+// HealthzReply answers GET /healthz: liveness plus the build identity
+// needed to tell deployed versions apart.
+type HealthzReply struct {
+	Status        string  `json:"status"`
+	GoVersion     string  `json:"go_version"`
+	VCSRevision   string  `json:"vcs_revision"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// buildRevision resolves the VCS revision stamped into the binary by
+// the Go toolchain, "unknown" when the build carries no VCS info (go
+// test binaries, source-dir builds).
+func buildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, HealthzReply{
+		Status:        "ok",
+		GoVersion:     runtime.Version(),
+		VCSRevision:   buildRevision(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// handleMetrics renders the Prometheus text exposition (format 0.0.4):
+// the solver work counters accumulated across all operations, the batch
+// coalescing counters, the published queue depth, and every
+// instrumented endpoint's latency histogram (seconds, cumulative le
+// buckets from metrics.Histogram.Buckets).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.rec.WritePrometheus(w, "mcfs")
+
+	fmt.Fprintf(w, "# HELP mcfsd_batches_total repair windows run by the writer loop\n# TYPE mcfsd_batches_total counter\nmcfsd_batches_total %d\n", s.batches.Load())
+	fmt.Fprintf(w, "# HELP mcfsd_batched_ops_total operations coalesced into repair windows\n# TYPE mcfsd_batched_ops_total counter\nmcfsd_batched_ops_total %d\n", s.batchedOps.Load())
+	v := s.view.Load()
+	fmt.Fprintf(w, "# HELP mcfsd_queue_depth writer-queue backlog at the last publish\n# TYPE mcfsd_queue_depth gauge\nmcfsd_queue_depth %d\n", v.queueDepth)
+	fmt.Fprintf(w, "# HELP mcfsd_customers live customers in the published assignment\n# TYPE mcfsd_customers gauge\nmcfsd_customers %d\n", v.pub.Customers())
+	fmt.Fprintf(w, "# HELP mcfsd_objective published total assignment distance\n# TYPE mcfsd_objective gauge\nmcfsd_objective %d\n", v.pub.Objective)
+	fmt.Fprintf(w, "# HELP mcfsd_uptime_seconds seconds since the server started\n# TYPE mcfsd_uptime_seconds gauge\nmcfsd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP mcfsd_request_duration_seconds request latency by endpoint\n# TYPE mcfsd_request_duration_seconds histogram\n")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range endpointNames {
+		h := s.lat[name]
+		for _, b := range h.Buckets() {
+			fmt.Fprintf(w, "mcfsd_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(float64(b.UpperNS)/1e9, 'g', -1, 64), b.Cumulative)
+		}
+		fmt.Fprintf(w, "mcfsd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, h.Count())
+		fmt.Fprintf(w, "mcfsd_request_duration_seconds_sum{endpoint=%q} %s\n",
+			name, strconv.FormatFloat(float64(h.Sum())/1e9, 'g', -1, 64))
+		fmt.Fprintf(w, "mcfsd_request_duration_seconds_count{endpoint=%q} %d\n", name, h.Count())
+	}
 }
 
 // EndpointStats reports one endpoint's latency distribution.
@@ -558,6 +701,7 @@ type StatsReply struct {
 	Reallocator   mcfs.ReallocatorStats    `json:"reallocator"`
 	Batches       int64                    `json:"batches"`
 	BatchedOps    int64                    `json:"batched_ops"`
+	QueueDepth    int                      `json:"queue_depth"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -575,6 +719,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Reallocator:   v.stats,
 		Batches:       s.batches.Load(),
 		BatchedOps:    s.batchedOps.Load(),
+		QueueDepth:    v.queueDepth,
 		Endpoints:     make(map[string]EndpointStats, len(endpointNames)),
 	}
 	reply.UptimeSeconds = time.Since(s.start).Seconds()

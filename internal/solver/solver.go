@@ -25,6 +25,7 @@ import (
 
 	"mcfs/internal/core"
 	"mcfs/internal/data"
+	"mcfs/internal/obs"
 )
 
 // ErrTimeout is returned by BranchAndBound when the time budget expires
@@ -182,6 +183,9 @@ func BranchAndBoundCtx(ctx context.Context, inst *data.Instance, opt Options) (*
 		ctx, cancel = context.WithTimeout(ctx, opt.TimeBudget)
 		defer cancel()
 	}
+	if p := obs.From(ctx).Phase("bnb/solve"); p != nil {
+		defer p.End()
+	}
 	l := inst.L()
 	k := inst.K
 	if k >= l {
@@ -192,7 +196,7 @@ func BranchAndBoundCtx(ctx context.Context, inst *data.Instance, opt Options) (*
 		return &Result{Solution: sol, Optimal: true}, nil
 	}
 
-	s := &search{ctx: ctx, inst: inst, k: k, opt: opt}
+	s := &search{ctx: ctx, inst: inst, k: k, opt: opt, rec: obs.From(ctx)}
 	// Warm start: seed the incumbent with the WMA heuristic, exactly as
 	// MIP solvers accept a starting solution. This sharpens pruning and
 	// guarantees that a timed-out search never reports worse than the
@@ -220,6 +224,7 @@ func BranchAndBoundCtx(ctx context.Context, inst *data.Instance, opt Options) (*
 		}
 		n := s.popBest()
 		if s.incumbent != nil && n.bound >= s.incumbent.Objective {
+			s.rec.Add(obs.BnBNodesPruned, 1)
 			continue
 		}
 		if err := s.branch(n); err != nil {
@@ -251,6 +256,19 @@ type search struct {
 	frontier  []*node // best-first by bound (simple slice scan: trees stay small)
 	incumbent *data.Solution
 	nodes     int
+	rec       *obs.Recorder // nil-safe; counts expansions/prunes/incumbents
+}
+
+// better installs sol as the incumbent when it improves on the current
+// one, reporting whether it did. All incumbent updates go through here
+// so the update count is exact.
+func (s *search) better(sol *data.Solution) bool {
+	if s.incumbent != nil && sol.Objective >= s.incumbent.Objective {
+		return false
+	}
+	s.incumbent = sol
+	s.rec.Add(obs.BnBIncumbentUpdates, 1)
+	return true
 }
 
 func (s *search) popBest() *node {
@@ -271,6 +289,7 @@ func (s *search) popBest() *node {
 // the original problem.
 func (s *search) evaluate(n *node) error {
 	s.nodes++
+	s.rec.Add(obs.BnBNodesExpanded, 1)
 	open := make([]int, 0, s.inst.L())
 	for j := 0; j < s.inst.L(); j++ {
 		if !n.excluded[j] {
@@ -303,9 +322,7 @@ func (s *search) evaluate(n *node) error {
 		}
 		sort.Ints(selected)
 		sol := &data.Solution{Selected: selected, Assignment: relaxed.Assignment, Objective: relaxed.Objective}
-		if s.incumbent == nil || sol.Objective < s.incumbent.Objective {
-			s.incumbent = sol
-		}
+		s.better(sol)
 		n.branchOn = -1
 		return nil
 	}
@@ -377,9 +394,7 @@ func (s *search) dive(n *node, relaxed *data.Solution) {
 	if err != nil {
 		return
 	}
-	if s.incumbent == nil || sol.Objective < s.incumbent.Objective {
-		s.incumbent = sol
-	}
+	s.better(sol)
 }
 
 // branch expands a node into include/exclude children.
@@ -397,10 +412,9 @@ func (s *search) branch(n *node) error {
 			// Fully determined selection: evaluate exactly.
 			sol, err := core.AssignToSelectionCtx(s.ctx, s.inst, append([]int(nil), inc.included...), core.Options{})
 			s.nodes++
+			s.rec.Add(obs.BnBNodesExpanded, 1)
 			if err == nil {
-				if s.incumbent == nil || sol.Objective < s.incumbent.Objective {
-					s.incumbent = sol
-				}
+				s.better(sol)
 			} else if !errors.Is(err, data.ErrInfeasible) {
 				return err
 			}

@@ -64,6 +64,51 @@ go test -race . ./cmd/... ./examples/...
 echo "mcfsd smoke: serve -> snapshot -> restart -> identical objective"
 go test -race -run '^TestMCFSDServeSnapshotRestart$' -count=1 ./cmd/ >/dev/null
 
+# /metrics smoke (DESIGN.md §13): boot a real daemon, curl the
+# Prometheus exposition, and fail when it is empty or unparseable.
+# Every non-comment line must be "name value" with a numeric value —
+# the same shape the in-process serve tests assert, re-checked here
+# through an actual socket.
+echo "mcfsd smoke: /metrics exposition"
+smokedir=$(mktemp -d)
+go build -o "$smokedir" ./cmd/mcfsgen ./cmd/mcfsd
+"$smokedir/mcfsgen" -type uniform -n 400 -alpha 2.5 -m 20 -l 60 -cap 8 -k 6 -seed 7 -o "$smokedir/inst.mcfs"
+"$smokedir/mcfsd" -in "$smokedir/inst.mcfs" -addr 127.0.0.1:0 -quiet >"$smokedir/out.log" 2>&1 &
+mcfsd_pid=$!
+metrics_url=""
+for _ in $(seq 1 50); do
+	metrics_url=$(awk 'match($0, /listening on http:\/\/[^ ]+/) { print substr($0, RSTART+13, RLENGTH-13) }' "$smokedir/out.log")
+	[ -n "$metrics_url" ] && break
+	sleep 0.1
+done
+if [ -z "$metrics_url" ]; then
+	echo "mcfsd smoke: daemon never printed its address" >&2
+	cat "$smokedir/out.log" >&2
+	kill "$mcfsd_pid" 2>/dev/null || true
+	rm -rf "$smokedir"
+	exit 1
+fi
+curl -fsS "$metrics_url/metrics" >"$smokedir/metrics.txt"
+kill "$mcfsd_pid"
+wait "$mcfsd_pid" 2>/dev/null || true
+if ! awk '
+	/^#/ { next }
+	NF != 2 || $2 !~ /^-?[0-9.eE+]+$/ { bad++; print "unparseable metrics line: " $0 > "/dev/stderr" }
+	{ lines++ }
+	END { exit (lines == 0 || bad > 0) }
+' "$smokedir/metrics.txt"; then
+	echo "mcfsd smoke: /metrics empty or unparseable" >&2
+	rm -rf "$smokedir"
+	exit 1
+fi
+if ! grep -q '^mcfs_' "$smokedir/metrics.txt" || ! grep -q '^mcfsd_' "$smokedir/metrics.txt"; then
+	echo "mcfsd smoke: /metrics missing solver or daemon metric families" >&2
+	rm -rf "$smokedir"
+	exit 1
+fi
+echo "mcfsd smoke: /metrics OK ($(grep -vc '^#' "$smokedir/metrics.txt") samples)"
+rm -rf "$smokedir"
+
 total=$(go tool cover -func="$covprofile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 baseline=$(cat scripts/coverage_baseline.txt)
 rm -f "$covprofile"
@@ -109,6 +154,13 @@ if [ "${MCFS_PERF_SMOKE-}" = "1" ]; then
 		echo "perf smoke: no committed results/BENCH_quick_*.json baseline; skipping comparison"
 	fi
 	rm -f "$perfout"
+	# Recorder-overhead check (DESIGN.md §13): the instrumented Dijkstra
+	# with no recorder attached must stay near the uninstrumented path.
+	# The ns/op comparison against the committed baseline happens through
+	# the quick-suite diff above; this run keeps the three variants
+	# (disabled/enabled/raw add) visible in the CI log.
+	echo "perf smoke: recorder overhead benchmark"
+	go test -run '^$' -bench '^BenchmarkRecorderOverhead$' -benchtime=0.5s -count=1 ./internal/graph/
 fi
 
 # Smoke-run every example in quick mode. They run in a scratch dir so
