@@ -4,6 +4,8 @@
 //
 //	mcfsd -in inst.mcfs -addr 127.0.0.1:8080
 //	mcfsd -in inst.mcfs -restore snap.json
+//	mcfsd -in inst.mcfs -snapshot-every 30s -snapshot-dir /var/lib/mcfsd
+//	mcfsd -in inst.mcfs -restore /var/lib/mcfsd   # newest valid generation
 //
 // Endpoints:
 //
@@ -23,6 +25,16 @@
 // net/http/pprof and expvar (solver work counters under the
 // "mcfs_counters" var) — keep it on a loopback or otherwise trusted
 // address, profiling endpoints are not for the public network.
+//
+// Durability and self-healing (DESIGN.md §12): -snapshot-every with
+// -snapshot-dir persists a generation of the dynamic state on every
+// interval via atomic temp+rename, keeping the newest -snapshot-keep
+// generations; -restore accepts either a snapshot file or a generation
+// directory, picking the newest generation that parses and skipping
+// corrupt ones. -drift-threshold enables the drift-triggered background
+// re-solve: when the published objective exceeds threshold × the drift
+// baseline, a full re-solve is scheduled through the batch loop (with
+// hysteresis and -heal-interval backoff).
 //
 // The daemon prints "mcfsd: listening on http://ADDR" once the socket
 // is bound (use -addr 127.0.0.1:0 to pick a free port) and drains
@@ -55,9 +67,14 @@ func main() {
 		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
 		algo      = flag.String("algo", "wma", "default algorithm for POST /resolve")
 		drift     = flag.Float64("drift", 0, "reallocator drift factor (0 = default 1.5, negative disables)")
-		restore   = flag.String("restore", "", "restore dynamic state from a snapshot file")
+		restore   = flag.String("restore", "", "restore dynamic state from a snapshot file or generation directory")
 		batch     = flag.Int("batch", 0, "max operations coalesced per repair window (0 = default)")
 		opTimeout = flag.Duration("optimeout", 0, "per-operation deadline (0 = default 5s)")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 = disabled; requires -snapshot-dir)")
+		snapDir   = flag.String("snapshot-dir", "", "directory for periodic snapshot generations")
+		snapKeep  = flag.Int("snapshot-keep", 0, "snapshot generations to retain (0 = default 3)")
+		driftThr  = flag.Float64("drift-threshold", 0, "drift ratio that triggers a background re-solve (0 = disabled, must exceed 1)")
+		healEvery = flag.Duration("heal-interval", 0, "minimum spacing between drift-triggered re-solves (0 = default 30s)")
 		debugAddr = flag.String("debug-addr", "", "optional second listener for net/http/pprof + expvar (trusted networks only)")
 		quiet     = flag.Bool("quiet", false, "disable the structured per-request log")
 	)
@@ -85,15 +102,36 @@ func main() {
 
 	var snap *mcfs.ReallocatorSnapshot
 	if *restore != "" {
-		sf, err := os.Open(*restore)
-		if err != nil {
-			fatal(err)
-		}
-		snap, err = mcfs.ReadReallocatorSnapshot(sf)
-		//lint:ignore closecheck read path: the file is only read, and a parse error dominates any close error
-		sf.Close()
-		if err != nil {
-			fatal(err)
+		if fi, err := os.Stat(*restore); err == nil && fi.IsDir() {
+			// A generation directory: pick the newest snapshot that
+			// parses, skipping corrupt ones (a crash can tear at most the
+			// file being written when the discipline is violated by the
+			// environment — recovery steps back one interval).
+			var path string
+			var skipped []string
+			snap, path, skipped, err = serve.LoadNewestSnapshot(*restore)
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range skipped {
+				fmt.Fprintf(os.Stderr, "mcfsd: skipping corrupt snapshot %s\n", p)
+			}
+			if snap != nil {
+				fmt.Printf("mcfsd: restoring from %s\n", path)
+			} else {
+				fmt.Printf("mcfsd: no snapshots in %s, starting fresh\n", *restore)
+			}
+		} else {
+			sf, err := os.Open(*restore)
+			if err != nil {
+				fatal(err)
+			}
+			snap, err = mcfs.ReadReallocatorSnapshot(sf)
+			//lint:ignore closecheck read path: the file is only read, and a parse error dominates any close error
+			sf.Close()
+			if err != nil {
+				fatal(err)
+			}
 		}
 	}
 
@@ -102,13 +140,18 @@ func main() {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	engine, err := serve.New(serve.Config{
-		Instance:       inst,
-		Algorithm:      algorithm,
-		DriftFactor:    *drift,
-		MaxBatch:       *batch,
-		DefaultTimeout: *opTimeout,
-		Snapshot:       snap,
-		Logger:         logger,
+		Instance:        inst,
+		Algorithm:       algorithm,
+		DriftFactor:     *drift,
+		MaxBatch:        *batch,
+		DefaultTimeout:  *opTimeout,
+		Snapshot:        snap,
+		Logger:          logger,
+		SnapshotEvery:   *snapEvery,
+		SnapshotDir:     *snapDir,
+		SnapshotKeep:    *snapKeep,
+		DriftThreshold:  *driftThr,
+		HealMinInterval: *healEvery,
 	})
 	if err != nil {
 		fatal(err)

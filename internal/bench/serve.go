@@ -211,7 +211,15 @@ func runServe(cfg Config, emit func(Row)) error {
 		if err != nil {
 			return err
 		}
-		eng, err := serve.New(serve.Config{Instance: inst})
+		// The self-hosted server runs with the drift healer armed (tight
+		// backoff so a heal can actually fire inside a short load phase):
+		// the closing stats row then reports how often the churn pushed
+		// drift past the threshold and what the healer did about it.
+		eng, err := serve.New(serve.Config{
+			Instance:        inst,
+			DriftThreshold:  1.2,
+			HealMinInterval: time.Millisecond,
+		})
 		if err != nil {
 			return err
 		}
@@ -345,8 +353,8 @@ func runServe(cfg Config, emit func(Row)) error {
 	})
 	emit(Row{
 		Exp: "serve", X: "objective", XVal: float64(st.Objective), Objective: st.Objective,
-		Note: fmt.Sprintf("customers=%d drift=%.3f batches=%d batched_ops=%d",
-			st.Customers, st.Drift, st.Batches, st.BatchedOps),
+		Note: fmt.Sprintf("customers=%d drift=%.3f batches=%d batched_ops=%d heal_triggers=%d heals=%d",
+			st.Customers, st.Drift, st.Batches, st.BatchedOps, st.HealTriggers, st.Heals),
 	})
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"mcfs/internal/data"
 )
@@ -94,13 +95,29 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 }
 
 // checkAgainst validates the snapshot against the instance it is being
-// restored onto: fingerprint fields and index ranges.
+// restored onto: fingerprint fields and index ranges. A fingerprint
+// mismatch names every disagreeing field with both sides — the snapshot
+// value and the instance value — so the operator can tell a truncated
+// network from a re-sampled facility catalogue from a changed budget at
+// a glance.
 func (s *Snapshot) checkAgainst(inst *data.Instance) error {
-	if s.Nodes != inst.G.N() || s.Edges != inst.G.M() ||
-		s.FacilityCount != inst.L() || s.K != inst.K {
-		return fmt.Errorf("dynamic: snapshot fingerprint (n=%d edges=%d l=%d k=%d) does not match instance (n=%d edges=%d l=%d k=%d)",
-			s.Nodes, s.Edges, s.FacilityCount, s.K,
-			inst.G.N(), inst.G.M(), inst.L(), inst.K)
+	var diffs []string
+	for _, f := range []struct {
+		name     string
+		snapshot int
+		instance int
+	}{
+		{"nodes", s.Nodes, inst.G.N()},
+		{"edges", s.Edges, inst.G.M()},
+		{"facilities", s.FacilityCount, inst.L()},
+		{"k", s.K, inst.K},
+	} {
+		if f.snapshot != f.instance {
+			diffs = append(diffs, fmt.Sprintf("%s: snapshot %d vs instance %d", f.name, f.snapshot, f.instance))
+		}
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("dynamic: snapshot fingerprint mismatch: %s", strings.Join(diffs, "; "))
 	}
 	seen := make(map[int]bool, len(s.Handles))
 	for i, h := range s.Handles {

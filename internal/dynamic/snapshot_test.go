@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -134,6 +135,30 @@ func TestSnapshotFingerprintMismatch(t *testing.T) {
 	other := &data.Instance{G: inst.G, Customers: inst.Customers, Facilities: inst.Facilities, K: inst.K + 1}
 	if _, err := Restore(other, snap, Options{}); err == nil || !strings.Contains(err.Error(), "fingerprint") {
 		t.Fatalf("fingerprint mismatch accepted: %v", err)
+	}
+}
+
+// TestSnapshotFingerprintMismatchMessage pins the itemized error shape:
+// every disagreeing field is named with both the snapshot's value and
+// the instance's, so the message diagnoses which half of the pairing is
+// wrong rather than just declaring them different.
+func TestSnapshotFingerprintMismatchMessage(t *testing.T) {
+	inst, r := churnedReallocator(t)
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Nodes++
+	snap.K += 3
+	_, err = Restore(inst, snap, Options{})
+	if err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+	want := fmt.Sprintf(
+		"dynamic: snapshot fingerprint mismatch: nodes: snapshot %d vs instance %d; k: snapshot %d vs instance %d",
+		snap.Nodes, inst.G.N(), snap.K, inst.K)
+	if err.Error() != want {
+		t.Fatalf("mismatch message:\n got %q\nwant %q", err, want)
 	}
 }
 

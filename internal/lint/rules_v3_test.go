@@ -34,6 +34,15 @@ func TestSingleWriterRule(t *testing.T) {
 	checkFixtures(t, pkgs, []Rule{SingleWriter{}})
 }
 
+// TestSingleWriterDoubleWriter: a constructor that launches two
+// goroutines whose call trees both reach mutating Reallocator methods
+// is two concurrent owners — the second launch is reported. The
+// read-only ticker goroutine alongside them stays accepted.
+func TestSingleWriterDoubleWriter(t *testing.T) {
+	pkgs := loadFixtureTyped(t, "doublewriter", singleWriterDirs)
+	checkFixtures(t, pkgs, []Rule{SingleWriter{}})
+}
+
 // TestSingleWriterOutOfScope: the rule only concerns internal/serve;
 // the same code anywhere else is not in its jurisdiction.
 func TestSingleWriterOutOfScope(t *testing.T) {

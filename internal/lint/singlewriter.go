@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 )
@@ -13,9 +14,14 @@ import (
 // Reading that invariant off the code requires knowing which functions
 // run on the writer goroutine, so the rule builds the serve package's
 // internal call graph, roots the writer set at the constructor (New)
-// and the goroutines it launches, closes it over "called only from
-// writer functions", and reports any call to a mutating Reallocator
-// method from outside that set.
+// and the launched goroutine that owns mutating work, closes it over
+// "called only from writer functions", and reports any call to a
+// mutating Reallocator method from outside that set. The constructor
+// may start additional background goroutines — the periodic snapshot
+// ticker and the drift healer submit operations through the op queue
+// like any request handler — but they are accepted without joining the
+// writer set, and a second launched goroutine that reaches mutating
+// calls is itself a finding: two concurrent Reallocator owners.
 //
 // Whether a method mutates comes from the cross-package summaries
 // (summary.go): a method provably writing through its receiver —
@@ -58,9 +64,8 @@ func (SingleWriter) CheckModule(m *Module, report ReportFunc) {
 func checkSingleWriter(m *Module, pkg *Package, report ReportFunc) {
 	decls := pkg.funcDecls()
 
-	// The writer roots: the constructor and the goroutines it starts.
-	// Without a constructor the writer goroutine cannot be identified,
-	// so the rule stays silent.
+	// The constructor anchors the analysis. Without one the writer
+	// goroutine cannot be identified, so the rule stays silent.
 	var ctor types.Object
 	for obj := range decls {
 		if obj.Name() == "New" {
@@ -72,7 +77,18 @@ func checkSingleWriter(m *Module, pkg *Package, report ReportFunc) {
 	if ctor == nil {
 		return
 	}
-	writers := map[types.Object]bool{ctor: true}
+
+	// The goroutines the constructor starts, in launch order. Not every
+	// one is a writer: the durability layer's ticker goroutines
+	// (snapshot policy, drift healer) submit operations through the op
+	// queue like any request handler and never touch the Reallocator —
+	// they are accepted, but deliberately NOT writer-privileged, so a
+	// mutating call sneaking into one is still a finding.
+	type launch struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var launches []launch
 	ast.Inspect(decls[ctor].decl.Body, func(n ast.Node) bool {
 		gs, ok := n.(*ast.GoStmt)
 		if !ok {
@@ -80,36 +96,89 @@ func checkSingleWriter(m *Module, pkg *Package, report ReportFunc) {
 		}
 		if callee, _ := resolveCallee(pkg, gs.Call); callee != nil {
 			if _, local := decls[callee]; local {
-				writers[callee] = true
+				launches = append(launches, launch{callee, gs.Pos()})
 			}
 		}
 		return true
 	})
 
-	// In-package call graph: who calls whom (goroutine launches outside
-	// the constructor are starts, not calls — the launched function runs
-	// concurrently and is not writer-confined).
+	// In-package call graph, both directions, plus a per-function
+	// "directly calls a mutating Reallocator method" flag. Goroutine
+	// launches are starts, not calls — the launched function runs
+	// concurrently and must not inherit its launcher's confinement
+	// through the closure below.
 	callers := make(map[types.Object]map[types.Object]bool)
+	calls := make(map[types.Object][]types.Object)
+	direct := make(map[types.Object]bool)
 	for obj, site := range decls {
 		obj := obj
+		goCalls := make(map[*ast.CallExpr]bool)
 		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				goCalls[gs.Call] = true
+				return true
+			}
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			callee, _ := resolveCallee(pkg, call)
+			callee, recv := resolveCallee(pkg, call)
 			if callee == nil {
 				return true
 			}
-			if _, local := decls[callee]; !local {
+			if recv != nil && reallocatorType(pkg.TypeOf(recv)) {
+				if fs := m.funcSummaryOf(callee); fs != nil && len(fs.writes) > 0 && fs.writes[0] == escYes {
+					direct[obj] = true
+				}
+			}
+			if _, local := decls[callee]; !local || goCalls[call] {
 				return true
 			}
+			calls[obj] = append(calls[obj], callee)
 			if callers[callee] == nil {
 				callers[callee] = make(map[types.Object]bool)
 			}
 			callers[callee][obj] = true
 			return true
 		})
+	}
+
+	// reachesMutating: can fn reach a mutating Reallocator call through
+	// in-package calls (go launches excluded)?
+	var reachesMutating func(fn types.Object, seen map[types.Object]bool) bool
+	reachesMutating = func(fn types.Object, seen map[types.Object]bool) bool {
+		if direct[fn] {
+			return true
+		}
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		for _, callee := range calls[fn] {
+			if reachesMutating(callee, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The writer roots: the constructor (runs single-threaded before the
+	// loops start) and the launched goroutines that actually own mutating
+	// work. More than one mutating root is the architecture violation the
+	// rule exists for — two concurrent owners of the Reallocator — and is
+	// reported at the launch site.
+	writers := map[types.Object]bool{ctor: true}
+	mutatingRoots := 0
+	for _, l := range launches {
+		if !reachesMutating(l.obj, make(map[types.Object]bool)) {
+			continue
+		}
+		writers[l.obj] = true
+		mutatingRoots++
+		if mutatingRoots > 1 {
+			report(decls[ctor].file, l.pos,
+				"constructor starts a second goroutine (%s) that mutates the Reallocator; the single-writer architecture allows exactly one batch writer", l.obj.Name())
+		}
 	}
 
 	// Close the writer set: a function every caller of which is a

@@ -21,7 +21,20 @@ func New() *Server {
 	s := &Server{r: &dynamic.Reallocator{}, ops: make(chan op, 16)}
 	s.r.SetContext(1)
 	go s.loop()
+	go s.tickerLoop()
 	return s
+}
+
+// tickerLoop stands in for the durability goroutines (snapshot policy,
+// drift healer): launched by the constructor, but it only reads and
+// submits through the op queue — accepted, no finding, and it does not
+// join the writer set.
+func (s *Server) tickerLoop() {
+	for i := 0; i < 3; i++ {
+		if s.r.Stats() > 0 {
+			s.handleAdd(i)
+		}
+	}
 }
 
 // loop is the batch writer goroutine.

@@ -59,6 +59,12 @@ const (
 	ReallocRepairs
 	ReallocReroutedCustomers
 	ReallocFullSolves
+	// Serving layer durability and self-healing (internal/serve).
+	ServeSnapshots
+	ServeSnapshotFailures
+	ServeHealTriggers
+	ServeHeals
+	ServeHealFailures
 
 	numCounters // sentinel; keep last
 )
@@ -81,6 +87,11 @@ var counterNames = [numCounters]string{
 	ReallocRepairs:           "realloc_repairs",
 	ReallocReroutedCustomers: "realloc_rerouted_customers",
 	ReallocFullSolves:        "realloc_full_solves",
+	ServeSnapshots:           "serve_snapshots",
+	ServeSnapshotFailures:    "serve_snapshot_failures",
+	ServeHealTriggers:        "serve_heal_triggers",
+	ServeHeals:               "serve_heals",
+	ServeHealFailures:        "serve_heal_failures",
 }
 
 // counterHelp is the one-line exposition help text per counter.
@@ -99,6 +110,11 @@ var counterHelp = [numCounters]string{
 	ReallocRepairs:           "reallocator assignment rebuilds (repair passes)",
 	ReallocReroutedCustomers: "customers re-assigned by reallocator repair passes",
 	ReallocFullSolves:        "full WMA re-selections run by the reallocator",
+	ServeSnapshots:           "periodic snapshots persisted to disk by the serving engine",
+	ServeSnapshotFailures:    "periodic snapshot attempts that failed (capture or persist)",
+	ServeHealTriggers:        "drift-threshold crossings that scheduled a background re-solve",
+	ServeHeals:               "drift-triggered background re-solves completed",
+	ServeHealFailures:        "drift-triggered background re-solves that failed",
 }
 
 // Name returns the counter's stable exposition name.

@@ -1,0 +1,123 @@
+// Drift-triggered background re-solve: the self-healing half of the
+// durability layer (DESIGN.md §12, "Durability & self-healing").
+//
+// Under sustained churn the incremental repair path keeps every
+// assignment optimal *for the open selection*, but the selection itself
+// ages: `/stats` reports the ratio of the published objective to the
+// baseline recorded at the last full solve as `drift`. The incremental-
+// repair line in the literature (repair per event, full re-solve when
+// quality degrades past a threshold) says the serving policy should act
+// on that signal, not just report it. The healer does: after every
+// publish the writer loop compares the fresh view's drift against
+// Config.DriftThreshold and, when it crosses, schedules a coalesced
+// full re-solve through the same op queue every other write uses — the
+// single-writer discipline is untouched.
+//
+// Two dampers keep churn from thrashing the solver. Hysteresis: a
+// trigger disarms the watcher, and it re-arms only once drift falls
+// back below the midpoint between 1 and the threshold — drift hovering
+// at the threshold fires once, not on every publish. Min-interval
+// backoff: the heal goroutine waits out Config.HealMinInterval since
+// the last heal before running, and re-checks the live drift after the
+// wait — if the reallocator's own internal re-solve (or a user
+// /resolve) already healed the view, the scheduled heal dissolves into
+// a no-op instead of burning a redundant full solve.
+package serve
+
+import (
+	"context"
+	"time"
+
+	"mcfs/internal/obs"
+)
+
+// healRearmBelow computes the hysteresis low-water mark for a
+// threshold: the midpoint between no-drift (1.0) and the threshold.
+func healRearmBelow(threshold float64) float64 {
+	return 1 + (threshold-1)/2
+}
+
+// maybeScheduleHeal runs on the writer goroutine after each publish:
+// hysteresis-gated threshold check on the freshly published view, and a
+// non-blocking kick to the heal goroutine (a kick already pending
+// coalesces — one heal serves any number of crossings).
+func (s *Server) maybeScheduleHeal() {
+	if s.cfg.DriftThreshold <= 0 {
+		return
+	}
+	v := s.view.Load()
+	if v.base <= 0 {
+		return
+	}
+	drift := float64(v.pub.Objective) / float64(v.base)
+	if drift < healRearmBelow(s.cfg.DriftThreshold) {
+		s.healArmed = true
+	}
+	if !s.healArmed || drift < s.cfg.DriftThreshold {
+		return
+	}
+	s.healArmed = false
+	s.rec.Add(obs.ServeHealTriggers, 1)
+	select {
+	case s.healKick <- struct{}{}:
+	default:
+	}
+}
+
+// healLoop is the background re-solve goroutine. It exists so the
+// writer loop never blocks on a full solve it scheduled for itself:
+// the heal is just another queued op, batched and published like any
+// other write.
+func (s *Server) healLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-s.healKick:
+		}
+		if !s.healBackoff() {
+			return // shutdown during the backoff wait
+		}
+		// Re-check against the live view: the drift that scheduled this
+		// heal may already be gone.
+		v := s.view.Load()
+		if v.base <= 0 || float64(v.pub.Objective)/float64(v.base) < s.cfg.DriftThreshold {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.DefaultTimeout)
+		_, err := s.do(ctx, op{kind: opResolve, algo: s.cfg.Algorithm})
+		cancel()
+		if err != nil {
+			s.rec.Add(obs.ServeHealFailures, 1)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Error("drift heal failed", "error", err)
+			}
+			continue
+		}
+		s.rec.Add(obs.ServeHeals, 1)
+		s.lastHealUnix.Store(s.clock.Now().Unix())
+	}
+}
+
+// healBackoff waits out the remainder of HealMinInterval since the last
+// completed heal; returns false if the server shut down while waiting.
+func (s *Server) healBackoff() bool {
+	last := s.lastHealUnix.Load()
+	if last == 0 || s.cfg.HealMinInterval <= 0 {
+		return true
+	}
+	elapsed := s.clock.Now().Sub(time.Unix(last, 0))
+	wait := s.cfg.HealMinInterval - elapsed
+	if wait <= 0 {
+		return true
+	}
+	tk := s.clock.NewTicker(wait)
+	defer tk.Stop()
+	select {
+	case <-s.quit:
+		return false
+	case <-tk.C():
+		return true
+	}
+}

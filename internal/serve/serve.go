@@ -58,6 +58,31 @@ type Config struct {
 	// (request id, method, path, status, bytes, duration). Nil disables
 	// request logging.
 	Logger *slog.Logger
+
+	// SnapshotEvery > 0 enables the periodic snapshot-to-disk policy
+	// (snapshotter.go): every interval the engine captures the settled
+	// state through the batch loop and persists one generation into
+	// SnapshotDir via atomic temp+rename. Requires SnapshotDir.
+	SnapshotEvery time.Duration
+	// SnapshotDir is the generation directory (created if missing).
+	SnapshotDir string
+	// SnapshotKeep bounds retained generations; 0 picks 3.
+	SnapshotKeep int
+
+	// DriftThreshold > 0 enables the drift-triggered background
+	// re-solve (healer.go): when the published objective exceeds
+	// DriftThreshold × the drift baseline, a coalesced full re-solve of
+	// Config.Algorithm is scheduled through the batch loop, with
+	// hysteresis and HealMinInterval backoff. Must exceed 1 when set.
+	DriftThreshold float64
+	// HealMinInterval is the minimum spacing between completed heals;
+	// 0 picks 30s.
+	HealMinInterval time.Duration
+
+	// FS and Clock are the durability layer's injectable seams
+	// (fsclock.go); nil picks the os/time-backed production versions.
+	FS    FS
+	Clock Clock
 }
 
 // errShutdown is returned to requests that arrive while the server is
@@ -84,16 +109,32 @@ var endpointNames = []string{"assign", "arrivals", "departures", "resolve", "sna
 // Server is the serving engine. Create one with New, mount Handler on
 // an http.Server, and Close it to drain the writer goroutine.
 type Server struct {
-	cfg  Config
-	r    *mcfs.Reallocator
-	view atomic.Pointer[view]
+	cfg   Config
+	r     *mcfs.Reallocator
+	view  atomic.Pointer[view]
+	fs    FS
+	clock Clock
 
 	ops  chan op
 	quit chan struct{}
 	wg   sync.WaitGroup
+	// baseCtx parents the background loops' operation contexts and is
+	// cancelled by Close before joining them, so a loop blocked on an
+	// op reply never deadlocks the shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
 
 	batches    atomic.Int64 // repair windows run
 	batchedOps atomic.Int64 // operations processed inside them
+
+	// Durability state. snapGen is the last persisted snapshot
+	// generation; healArmed is the hysteresis latch, owned by the
+	// writer goroutine (only maybeScheduleHeal touches it).
+	snapGen          atomic.Int64
+	lastSnapshotUnix atomic.Int64
+	lastHealUnix     atomic.Int64
+	healKick         chan struct{}
+	healArmed        bool
 
 	// rec accumulates the process-lifetime solver work counters: every
 	// operation context is wrapped with it before reaching the
@@ -129,6 +170,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 5 * time.Second
 	}
+	if cfg.SnapshotEvery > 0 && cfg.SnapshotDir == "" {
+		return nil, errors.New("serve: Config.SnapshotEvery requires Config.SnapshotDir")
+	}
+	if cfg.SnapshotKeep <= 0 {
+		cfg.SnapshotKeep = 3
+	}
+	if cfg.DriftThreshold != 0 && cfg.DriftThreshold <= 1 {
+		return nil, fmt.Errorf("serve: Config.DriftThreshold %v must exceed 1 (it is a ratio to the drift baseline)", cfg.DriftThreshold)
+	}
+	if cfg.HealMinInterval <= 0 {
+		cfg.HealMinInterval = 30 * time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = osFS{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
 	var r *mcfs.Reallocator
 	var err error
 	if cfg.Snapshot != nil {
@@ -140,24 +199,52 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:  cfg,
-		r:    r,
-		ops:  make(chan op, 4*cfg.MaxBatch),
-		quit: make(chan struct{}),
-		lat:  make(map[string]*metrics.Histogram, len(endpointNames)),
-		rec:  obs.New(),
+		cfg:       cfg,
+		r:         r,
+		fs:        cfg.FS,
+		clock:     cfg.Clock,
+		ops:       make(chan op, 4*cfg.MaxBatch),
+		quit:      make(chan struct{}),
+		healKick:  make(chan struct{}, 1),
+		healArmed: true,
+		lat:       make(map[string]*metrics.Histogram, len(endpointNames)),
+		rec:       obs.New(),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	//lint:ignore determinism serving uptime is operational telemetry, never solver input
 	s.start = time.Now()
 	for _, name := range endpointNames {
 		s.lat[name] = &metrics.Histogram{}
 	}
+	if cfg.SnapshotEvery > 0 {
+		if err := s.fs.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			s.baseCancel()
+			return nil, fmt.Errorf("serve: snapshot dir: %w", err)
+		}
+		// Resume the generation sequence after the newest existing file
+		// so a restore into the same directory never collides.
+		gens, err := listGenerations(s.fs, cfg.SnapshotDir)
+		if err == nil && len(gens) > 0 {
+			s.snapGen.Store(gens[len(gens)-1])
+		}
+	}
 	if err := s.publish(); err != nil {
+		s.baseCancel()
 		return nil, err
 	}
 	s.wg.Add(1)
 	//lint:ignore nakedgoroutine the writer goroutine is joined by Close via s.wg
 	go s.loop()
+	if cfg.SnapshotEvery > 0 {
+		s.wg.Add(1)
+		//lint:ignore nakedgoroutine the snapshot ticker goroutine is joined by Close via s.wg
+		go s.snapshotLoop()
+	}
+	if cfg.DriftThreshold > 0 {
+		s.wg.Add(1)
+		//lint:ignore nakedgoroutine the heal goroutine is joined by Close via s.wg
+		go s.healLoop()
+	}
 	return s, nil
 }
 
@@ -166,6 +253,9 @@ func New(cfg Config) (*Server, error) {
 // HTTP listener (owned by the caller) should be shut down first.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		// Unblock any background loop waiting on an op reply the writer
+		// will never send, then stop all loops and join them.
+		s.baseCancel()
 		close(s.quit)
 		s.wg.Wait()
 		// Fail whatever is still queued so no request waits forever.
@@ -272,6 +362,9 @@ func (s *Server) process(batch []op) {
 	pubErr := s.publish()
 	s.batches.Add(1)
 	s.batchedOps.Add(int64(len(batch)))
+	if pubErr == nil {
+		s.maybeScheduleHeal()
+	}
 	obj := s.Objective()
 	for i, o := range batch {
 		res := results[i]
@@ -665,6 +758,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP mcfsd_customers live customers in the published assignment\n# TYPE mcfsd_customers gauge\nmcfsd_customers %d\n", v.pub.Customers())
 	fmt.Fprintf(w, "# HELP mcfsd_objective published total assignment distance\n# TYPE mcfsd_objective gauge\nmcfsd_objective %d\n", v.pub.Objective)
 	fmt.Fprintf(w, "# HELP mcfsd_uptime_seconds seconds since the server started\n# TYPE mcfsd_uptime_seconds gauge\nmcfsd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	fmt.Fprintf(w, "# HELP mcfsd_snapshot_generation newest persisted snapshot generation (0 = none yet)\n# TYPE mcfsd_snapshot_generation gauge\nmcfsd_snapshot_generation %d\n", s.snapGen.Load())
+	fmt.Fprintf(w, "# HELP mcfsd_last_snapshot_timestamp_seconds unix time of the last persisted snapshot (0 = never)\n# TYPE mcfsd_last_snapshot_timestamp_seconds gauge\nmcfsd_last_snapshot_timestamp_seconds %d\n", s.lastSnapshotUnix.Load())
+	fmt.Fprintf(w, "# HELP mcfsd_last_heal_timestamp_seconds unix time of the last completed drift heal (0 = never)\n# TYPE mcfsd_last_heal_timestamp_seconds gauge\nmcfsd_last_heal_timestamp_seconds %d\n", s.lastHealUnix.Load())
 
 	fmt.Fprintf(w, "# HELP mcfsd_request_duration_seconds request latency by endpoint\n# TYPE mcfsd_request_duration_seconds histogram\n")
 	s.mu.Lock()
@@ -693,16 +789,25 @@ type EndpointStats struct {
 
 // StatsReply answers GET /stats.
 type StatsReply struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	Customers     int                      `json:"customers"`
-	Objective     int64                    `json:"objective"`
-	BaseObjective int64                    `json:"base_objective"`
-	Drift         float64                  `json:"drift"`
-	Reallocator   mcfs.ReallocatorStats    `json:"reallocator"`
-	Batches       int64                    `json:"batches"`
-	BatchedOps    int64                    `json:"batched_ops"`
-	QueueDepth    int                      `json:"queue_depth"`
-	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Customers     int                   `json:"customers"`
+	Objective     int64                 `json:"objective"`
+	BaseObjective int64                 `json:"base_objective"`
+	Drift         float64               `json:"drift"`
+	Reallocator   mcfs.ReallocatorStats `json:"reallocator"`
+	Batches       int64                 `json:"batches"`
+	BatchedOps    int64                 `json:"batched_ops"`
+	QueueDepth    int                   `json:"queue_depth"`
+	// Durability & self-healing (zero when the policies are disabled).
+	Snapshots          int64                    `json:"snapshots"`
+	SnapshotFailures   int64                    `json:"snapshot_failures"`
+	SnapshotGeneration int64                    `json:"snapshot_generation"`
+	LastSnapshotUnix   int64                    `json:"last_snapshot_unix"`
+	HealTriggers       int64                    `json:"heal_triggers"`
+	Heals              int64                    `json:"heals"`
+	HealFailures       int64                    `json:"heal_failures"`
+	LastHealUnix       int64                    `json:"last_heal_unix"`
+	Endpoints          map[string]EndpointStats `json:"endpoints"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -712,15 +817,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		drift = float64(v.pub.Objective) / float64(v.base)
 	}
 	reply := StatsReply{
-		Customers:     v.pub.Customers(),
-		Objective:     v.pub.Objective,
-		BaseObjective: v.base,
-		Drift:         drift,
-		Reallocator:   v.stats,
-		Batches:       s.batches.Load(),
-		BatchedOps:    s.batchedOps.Load(),
-		QueueDepth:    v.queueDepth,
-		Endpoints:     make(map[string]EndpointStats, len(endpointNames)),
+		Customers:          v.pub.Customers(),
+		Objective:          v.pub.Objective,
+		BaseObjective:      v.base,
+		Drift:              drift,
+		Reallocator:        v.stats,
+		Batches:            s.batches.Load(),
+		BatchedOps:         s.batchedOps.Load(),
+		QueueDepth:         v.queueDepth,
+		Snapshots:          s.rec.Counter(obs.ServeSnapshots),
+		SnapshotFailures:   s.rec.Counter(obs.ServeSnapshotFailures),
+		SnapshotGeneration: s.snapGen.Load(),
+		LastSnapshotUnix:   s.lastSnapshotUnix.Load(),
+		HealTriggers:       s.rec.Counter(obs.ServeHealTriggers),
+		Heals:              s.rec.Counter(obs.ServeHeals),
+		HealFailures:       s.rec.Counter(obs.ServeHealFailures),
+		LastHealUnix:       s.lastHealUnix.Load(),
+		Endpoints:          make(map[string]EndpointStats, len(endpointNames)),
 	}
 	reply.UptimeSeconds = time.Since(s.start).Seconds()
 	s.mu.Lock()

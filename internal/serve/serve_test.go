@@ -370,6 +370,156 @@ func TestServeMetricsExposition(t *testing.T) {
 	}
 }
 
+// scrapeMetrics fetches /metrics and fails the test on transport or
+// status errors.
+func scrapeMetrics(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// assertExpositionShape fails on any line that is not a comment or
+// "name[{labels}] value" with a numeric value — the same shape the
+// ci.sh awk smoke enforces.
+func assertExpositionShape(t *testing.T, body string) {
+	t.Helper()
+	seen := 0
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		seen++
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("non-numeric value in line %q: %v", line, err)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("exposition has no samples")
+	}
+}
+
+// metricValue extracts the value of an unlabelled metric from the
+// exposition.
+func metricValue(t *testing.T, body, metric string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, metric+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, metric+" "), 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s absent", metric)
+	return 0
+}
+
+// TestServeMetricsUnderConcurrentLoad hammers the read and write paths
+// while scraping /metrics: every scrape must stay parseable, and the
+// cumulative counters must be monotone non-decreasing between scrapes
+// (a scrape observing a counter going backwards means the exposition
+// reads state non-atomically enough to lie). Run under -race this also
+// exercises every handler against the scraper.
+func TestServeMetricsUnderConcurrentLoad(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	inst := s.cfg.Instance
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	// Churn writers: symmetric arrivals/departures until told to stop.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := inst.Customers[(w*7+i)%len(inst.Customers)]
+				var churn ChurnReply
+				if code := call(t, "POST", ts.URL+"/arrivals",
+					ArrivalsRequest{Nodes: []int32{node}}, &churn); code != 200 {
+					errs <- fmt.Errorf("writer %d: arrivals status %d", w, code)
+					return
+				}
+				if code := call(t, "POST", ts.URL+"/departures",
+					DeparturesRequest{Handles: churn.Handles}, &churn); code != 200 {
+					errs <- fmt.Errorf("writer %d: departures status %d", w, code)
+					return
+				}
+			}
+		}(w)
+	}
+	// Assign readers: the satellite's target endpoint; 404 is fine for
+	// a handle that already departed.
+	for rdr := 0; rdr < 3; rdr++ {
+		wg.Add(1)
+		go func(rdr int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code := call(t, "GET", fmt.Sprintf("%s/assign?customer=%d", ts.URL, i%64), nil, nil)
+				if code != 200 && code != 404 {
+					errs <- fmt.Errorf("reader %d: assign status %d", rdr, code)
+					return
+				}
+			}
+		}(rdr)
+	}
+
+	monotone := []string{
+		"mcfs_sspa_augmenting_paths_total",
+		"mcfs_dijkstra_heap_pops_total",
+		"mcfsd_batches_total",
+		"mcfsd_batched_ops_total",
+	}
+	prev := make(map[string]float64, len(monotone))
+	for i := 0; i < 25; i++ {
+		body := scrapeMetrics(t, ts.URL)
+		assertExpositionShape(t, body)
+		for _, name := range monotone {
+			v := metricValue(t, body, name)
+			if v < prev[name] {
+				t.Errorf("scrape %d: %s went backwards: %v -> %v", i, name, prev[name], v)
+			}
+			prev[name] = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if prev["mcfsd_batches_total"] == 0 {
+		t.Error("no batches observed during the load test")
+	}
+}
+
 // regexpMustFindPositive reports whether the exposition carries a
 // strictly positive value for the given metric name.
 func regexpMustFindPositive(t *testing.T, body, metric string) bool {
